@@ -1,0 +1,656 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	conga "conga"
+	"conga/internal/anarchy"
+	"conga/internal/sim"
+	"conga/internal/stochmodel"
+	"conga/internal/traceanalysis"
+	"conga/internal/workload"
+)
+
+// fctTopo returns the experiment topology: the paper's testbed at full
+// scale, or a 1/4-host, 1/10-rate version for -quick.
+func fctTopo(quick bool) conga.Topology {
+	if quick {
+		// Half the testbed: same access speed (so flow durations and
+		// concurrency match the paper), half the hosts, and halved LAG
+		// members so the asymmetric-failure scenarios keep their shape.
+		return conga.Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 16, LinksPerSpine: 2,
+			AccessGbps: 10, FabricGbps: 20}
+	}
+	return conga.Testbed()
+}
+
+func fctLoads(quick bool) []float64 {
+	if quick {
+		return []float64{0.3, 0.6}
+	}
+	return []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+}
+
+func fctSchemes() []conga.Scheme {
+	return []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGAFlow, conga.SchemeCONGA, conga.SchemeMPTCPMarker}
+}
+
+func fctConfig(quick bool, s conga.Scheme, w conga.Workload, load float64) conga.FCTConfig {
+	cfg := conga.FCTConfig{
+		Topology:  fctTopo(quick),
+		Scheme:    s,
+		Workload:  w,
+		Load:      load,
+		Transport: conga.TransportConfig{MinRTO: 10 * time.Millisecond},
+		Duration:  150 * time.Millisecond,
+		MaxFlows:  3000,
+		Seed:      1,
+	}
+	if quick {
+		cfg.Duration = 80 * time.Millisecond
+		cfg.MaxFlows = 800
+	}
+	// The data-mining workload's byte-carrying flows run for tens to
+	// hundreds of ms, so steady-state contention needs a longer arrival
+	// window than the enterprise workload does.
+	if w == conga.WorkloadDataMining {
+		cfg.Duration = 300 * time.Millisecond
+		cfg.MaxFlows = 1200
+		if quick {
+			cfg.Duration = 150 * time.Millisecond
+			cfg.MaxFlows = 500
+		}
+	}
+	return cfg
+}
+
+// --- Figure 2 ---
+
+func runFig2(quick bool) {
+	fmt.Println("Scenario: L0→L1 overload; (S1,L1) path at half capacity (cf. 90/80/100 Gbps).")
+	fmt.Printf("%-12s %10s %10s %10s %14s\n", "scheme", "spine0", "spine1", "total", "split s0:s1")
+	for _, s := range []conga.Scheme{conga.SchemeECMP, conga.SchemeLocal, conga.SchemeWCMP, conga.SchemeCONGA} {
+		r, err := conga.RunFigure2(s, 1)
+		check(err)
+		ratio := r.SpineGbps[0] / max(r.SpineGbps[1], 1e-9)
+		fmt.Printf("%-12s %9.2fG %9.2fG %9.2fG %11.2f:1\n",
+			r.Scheme, r.SpineGbps[0], r.SpineGbps[1], r.TotalGbps, ratio)
+	}
+	fmt.Println("Paper shape: CONGA ≈ full capacity with a 2:1 split; ECMP strands the fast path.")
+}
+
+// --- Figure 3 ---
+
+func runFig3(quick bool) {
+	fmt.Println("Scenario: L1→L2 split must react to L0→L2 traffic on the shared S0→L2 link.")
+	fmt.Printf("%-12s %-22s %12s %12s\n", "scheme", "case", "L1 via S0", "L1 via S1")
+	for _, s := range []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGA} {
+		for _, busy := range []bool{false, true} {
+			r, err := conga.RunFigure3(s, busy, 1)
+			check(err)
+			label := "(a) L0→L2 idle"
+			if busy {
+				label = "(b) L0→L2 active"
+			}
+			fmt.Printf("%-12s %-22s %11.2fG %11.2fG\n",
+				r.Scheme, label, r.LeafUplinkGbps[1][0], r.LeafUplinkGbps[1][1])
+		}
+	}
+	fmt.Println("Paper shape: CONGA shifts L1's traffic off S0 when L0 loads it; ECMP cannot.")
+}
+
+// --- Figure 5 ---
+
+func runFig5(quick bool) {
+	flows := 5000
+	if quick {
+		flows = 800
+	}
+	tr, err := traceanalysis.Generate(traceanalysis.GenConfig{
+		Flows:         flows,
+		Dist:          workload.Enterprise(),
+		LinkRateBps:   10e9,
+		BurstBytes:    64 << 10,
+		MeanRateBps:   1e9,
+		ArrivalWindow: 50 * sim.Millisecond,
+		Seed:          1,
+	})
+	check(err)
+	gaps := []struct {
+		name string
+		gap  sim.Time
+	}{
+		{"Flow (250ms)", 250 * sim.Millisecond},
+		{"Flowlet (500µs)", 500 * sim.Microsecond},
+		{"Flowlet (100µs)", 100 * sim.Microsecond},
+	}
+	fmt.Printf("%-18s %10s %16s %20s\n", "granularity", "transfers", "median-by-bytes", "bytes in ≤1MB xfers")
+	for _, g := range gaps {
+		sizes := tr.Flowletize(g.gap)
+		cdf := traceanalysis.BytesCDF(sizes)
+		under1MB := 0.0
+		for _, pt := range cdf {
+			if pt[0] <= 1e6 {
+				under1MB = pt[1]
+			}
+		}
+		fmt.Printf("%-18s %10d %15.2gB %19.1f%%\n",
+			g.name, len(sizes), float64(traceanalysis.MedianBytesSize(sizes)), under1MB*100)
+	}
+	med, maxC := tr.ConcurrencyStats(sim.Millisecond)
+	fmt.Printf("concurrent flows per 1ms interval: median %d, max %d (§2.6.1: 130 / <300)\n", med, maxC)
+	fmt.Println("Paper shape: ~2 orders of magnitude smaller byte-median at 500µs gaps than per-flow.")
+}
+
+// --- Figure 8 ---
+
+func runFig8(quick bool) {
+	for _, w := range []conga.Workload{conga.WorkloadEnterprise, conga.WorkloadDataMining} {
+		e := w.Dist().(*workload.Empirical)
+		fmt.Printf("%s: mean %.3g B, CV %.1f, bytes from flows ≤35MB: %.0f%%\n",
+			e.Name(), e.Mean(), e.CV(), e.BytesFraction(35e6)*100)
+		fmt.Printf("  %-12s", "size:")
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			fmt.Printf(" %10.3g", e.Quantile(q))
+		}
+		fmt.Printf("\n  %-12s", "flow CDF:")
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			fmt.Printf(" %10.2f", q)
+		}
+		fmt.Println()
+	}
+}
+
+// --- Figures 9 and 10 ---
+
+func runFCTFigure(quick bool, w conga.Workload) {
+	loads := fctLoads(quick)
+	type row struct {
+		res *conga.FCTResult
+	}
+	results := map[string]map[float64]*conga.FCTResult{}
+	for _, s := range fctSchemes() {
+		results[conga.SchemeName(s)] = map[float64]*conga.FCTResult{}
+		for _, load := range loads {
+			r, err := conga.RunFCT(fctConfig(quick, s, w, load))
+			check(err)
+			results[conga.SchemeName(s)][load] = r
+		}
+	}
+	fmt.Println("(a) overall average FCT, normalized to optimal:")
+	printSeries(loads, results, func(r *conga.FCTResult) float64 { return r.NormFCT })
+	fmt.Println("(b) small flows (<100KB) avg FCT, normalized to ECMP:")
+	printSeriesVsECMP(loads, results, func(r *conga.FCTResult) float64 { return float64(r.SmallAvgFCT) })
+	fmt.Println("(c) large flows (>10MB) avg FCT, normalized to ECMP:")
+	printSeriesVsECMP(loads, results, func(r *conga.FCTResult) float64 { return float64(r.LargeAvgFCT) })
+	fmt.Println("completion counts (generated → completed within drain):")
+	printSeries(loads, results, func(r *conga.FCTResult) float64 { return float64(r.Completed) })
+}
+
+func printSeries(loads []float64, results map[string]map[float64]*conga.FCTResult, metric func(*conga.FCTResult) float64) {
+	fmt.Printf("  %-12s", "load:")
+	for _, l := range loads {
+		fmt.Printf(" %8.0f%%", l*100)
+	}
+	fmt.Println()
+	for _, name := range []string{"ecmp", "conga-flow", "conga", "mptcp"} {
+		series, ok := results[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-12s", name)
+		for _, l := range loads {
+			fmt.Printf(" %9.2f", metric(series[l]))
+		}
+		fmt.Println()
+	}
+}
+
+func printSeriesVsECMP(loads []float64, results map[string]map[float64]*conga.FCTResult, metric func(*conga.FCTResult) float64) {
+	fmt.Printf("  %-12s", "load:")
+	for _, l := range loads {
+		fmt.Printf(" %8.0f%%", l*100)
+	}
+	fmt.Println()
+	for _, name := range []string{"ecmp", "conga-flow", "conga", "mptcp"} {
+		series, ok := results[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-12s", name)
+		for _, l := range loads {
+			base := metric(results["ecmp"][l])
+			v := 0.0
+			if base > 0 {
+				v = metric(series[l]) / base
+			}
+			fmt.Printf(" %9.2f", v)
+		}
+		fmt.Println()
+	}
+}
+
+func runFig9(quick bool)  { runFCTFigure(quick, conga.WorkloadEnterprise) }
+func runFig10(quick bool) { runFCTFigure(quick, conga.WorkloadDataMining) }
+
+// --- Figure 11 ---
+
+func runFig11(quick bool) {
+	topo := fctTopo(quick)
+	topo.FailedLinks = [][3]int{{1, 1, 1}} // one of the Leaf1↔Spine1 pair
+	loads := []float64{0.1, 0.3, 0.5, 0.7}
+	if quick {
+		loads = []float64{0.3, 0.6}
+	}
+	for _, w := range []conga.Workload{conga.WorkloadEnterprise, conga.WorkloadDataMining} {
+		fmt.Printf("(%s) overall average FCT normalized to optimal, WITH link failure:\n", w)
+		results := map[string]map[float64]*conga.FCTResult{}
+		for _, s := range fctSchemes() {
+			results[conga.SchemeName(s)] = map[float64]*conga.FCTResult{}
+			for _, load := range loads {
+				cfg := fctConfig(quick, s, w, load)
+				cfg.Topology = topo
+				r, err := conga.RunFCT(cfg)
+				check(err)
+				results[conga.SchemeName(s)][load] = r
+			}
+		}
+		printSeries(loads, results, func(r *conga.FCTResult) float64 { return r.NormFCT })
+	}
+
+	fmt.Println("(c) hotspot queue occupancy CDF, data-mining at 60% load:")
+	fmt.Printf("  %-12s %10s %10s %10s %10s\n", "scheme", "p50", "p90", "p99", "max")
+	for _, s := range fctSchemes() {
+		cfg := fctConfig(quick, s, conga.WorkloadDataMining, 0.6)
+		cfg.Topology = topo
+		cfg.CollectQueues = true
+		r, err := conga.RunFCT(cfg)
+		check(err)
+		q := func(target float64) float64 {
+			v := 0.0
+			for _, pt := range r.HotspotQueueCDF {
+				if pt[1] <= target {
+					v = pt[0]
+				}
+			}
+			return v / 1e6
+		}
+		maxq := 0.0
+		if n := len(r.HotspotQueueCDF); n > 0 {
+			maxq = r.HotspotQueueCDF[n-1][0] / 1e6
+		}
+		fmt.Printf("  %-12s %9.2fM %9.2fM %9.2fM %9.2fM\n",
+			conga.SchemeName(s), q(0.5), q(0.9), q(0.99), maxq)
+	}
+	fmt.Println("Paper shape: ECMP collapses past 50% load; CONGA best, with far smaller hotspot queues.")
+}
+
+// --- Figure 12 ---
+
+func runFig12(quick bool) {
+	fmt.Println("Throughput imbalance (MAX−MIN)/AVG across leaf-0 uplinks, 10ms windows, 60% load:")
+	for _, w := range []conga.Workload{conga.WorkloadEnterprise, conga.WorkloadDataMining} {
+		fmt.Printf("  %s:\n", w)
+		fmt.Printf("    %-12s %8s %8s %8s\n", "scheme", "mean", "p50", "p90")
+		for _, s := range fctSchemes() {
+			cfg := fctConfig(quick, s, w, 0.6)
+			cfg.CollectImbalance = true
+			cfg.Duration = 200 * time.Millisecond // ≥20 imbalance windows
+			cfg.MaxFlows *= 2
+			r, err := conga.RunFCT(cfg)
+			check(err)
+			p := func(q float64) float64 {
+				v := 0.0
+				for _, pt := range r.ImbalanceCDF {
+					if pt[1] <= q {
+						v = pt[0]
+					}
+				}
+				return v
+			}
+			fmt.Printf("    %-12s %8.3f %8.3f %8.3f\n", conga.SchemeName(s), r.ImbalanceMean, p(0.5), p(0.9))
+		}
+	}
+	fmt.Println("Paper shape: CONGA ≤ MPTCP ≪ ECMP imbalance.")
+}
+
+// --- Figure 13 ---
+
+func runFig13(quick bool) {
+	topo := fctTopo(quick)
+	fanouts := []int{1, 4, 8, 16, 24, 32, 48, 63}
+	reqBytes := int64(10 << 20)
+	rounds := 4
+	if quick {
+		fanouts = []int{1, 4, 8, 14}
+		reqBytes = 2 << 20
+		rounds = 2
+	}
+	for _, mtu := range []int{1500, 9000} {
+		fmt.Printf("MTU %d — goodput %% of access link vs fan-in:\n", mtu)
+		fmt.Printf("  %-22s", "fanout:")
+		for _, f := range fanouts {
+			fmt.Printf(" %6d", f)
+		}
+		fmt.Println()
+		for _, setup := range []struct {
+			name   string
+			kind   conga.Transport
+			minRTO time.Duration
+		}{
+			{"CONGA+TCP (200ms)", conga.TransportTCP, 200 * time.Millisecond},
+			{"CONGA+TCP (1ms)", conga.TransportTCP, time.Millisecond},
+			{"MPTCP (200ms)", conga.TransportMPTCP, 200 * time.Millisecond},
+			{"MPTCP (1ms)", conga.TransportMPTCP, time.Millisecond},
+		} {
+			fmt.Printf("  %-22s", setup.name)
+			for _, f := range fanouts {
+				if f >= topo.Leaves*topo.HostsPerLeaf {
+					fmt.Printf(" %6s", "-")
+					continue
+				}
+				r, err := conga.RunIncast(conga.IncastConfig{
+					Topology:     topo,
+					Scheme:       conga.SchemeCONGA,
+					Transport:    conga.TransportConfig{Kind: setup.kind, MinRTO: setup.minRTO, MTU: mtu},
+					Fanout:       f,
+					RequestBytes: reqBytes,
+					Rounds:       rounds,
+					Timeout:      time.Duration(rounds) * 10 * time.Second,
+				})
+				check(err)
+				fmt.Printf(" %5.0f%%", r.GoodputFraction*100)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("Paper shape: MPTCP collapses at high fan-in (worst with jumbo frames); CONGA+TCP stays high.")
+}
+
+// --- Figure 14 ---
+
+func runFig14(quick bool) {
+	trials := 10
+	topo := conga.Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 16, LinksPerSpine: 2,
+		AccessGbps: 10, FabricGbps: 40}
+	bytesPer := int64(8 << 20)
+	if quick {
+		trials = 3
+		topo.HostsPerLeaf = 8
+		bytesPer = 4 << 20
+	}
+	for _, failed := range []bool{false, true} {
+		label := "(a) baseline topology"
+		t := topo
+		if failed {
+			label = "(b) with link failure"
+			t.FailedLinks = [][3]int{{1, 1, 1}}
+		}
+		fmt.Printf("%s — job completion times over %d trials (seconds):\n", label, trials)
+		for _, s := range []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGA, conga.SchemeMPTCPMarker} {
+			fmt.Printf("  %-8s", conga.SchemeName(s))
+			var sum, worst float64
+			for trial := 0; trial < trials; trial++ {
+				r, err := conga.RunHDFS(conga.HDFSConfig{
+					Topology:       t,
+					Scheme:         s,
+					Transport:      conga.TransportConfig{Kind: transportFor(s), MinRTO: 10 * time.Millisecond},
+					BytesPerWriter: bytesPer,
+					DiskMBps:       400,
+					BackgroundLoad: 0.4,
+					Seed:           uint64(trial + 1),
+				})
+				check(err)
+				sec := r.JobCompletion.Seconds()
+				sum += sec
+				if sec > worst {
+					worst = sec
+				}
+				fmt.Printf(" %6.2f", sec)
+			}
+			fmt.Printf("   | mean %.2f worst %.2f\n", sum/float64(trials), worst)
+		}
+	}
+	fmt.Println("Paper shape: failure ≈ doubles ECMP job times; CONGA nearly unaffected; MPTCP volatile.")
+}
+
+func transportFor(s conga.Scheme) conga.Transport {
+	if s == conga.SchemeMPTCPMarker {
+		return conga.TransportMPTCP
+	}
+	return conga.TransportTCP
+}
+
+// --- Figure 15 ---
+
+func runFig15(quick bool) {
+	loads := []float64{0.3, 0.5, 0.7}
+	type topoCase struct {
+		name string
+		topo conga.Topology
+	}
+	cases := []topoCase{
+		{"10G access / 40G fabric", conga.Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 16,
+			LinksPerSpine: 1, AccessGbps: 10, FabricGbps: 40}},
+		{"40G access / 40G fabric", conga.Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 4,
+			LinksPerSpine: 1, AccessGbps: 40, FabricGbps: 40}},
+	}
+	if quick {
+		cases[0].topo.HostsPerLeaf = 8
+		cases[1].topo.HostsPerLeaf = 2
+	}
+	for _, c := range cases {
+		fmt.Printf("%s — web-search workload, CONGA FCT normalized to ECMP:\n", c.name)
+		fmt.Printf("  %-8s", "load:")
+		for _, l := range loads {
+			fmt.Printf(" %7.0f%%", l*100)
+		}
+		fmt.Println()
+		fmt.Printf("  %-8s", "conga")
+		for _, l := range loads {
+			base := mustFCT(quick, conga.SchemeECMP, c.topo, l)
+			cng := mustFCT(quick, conga.SchemeCONGA, c.topo, l)
+			fmt.Printf(" %8.2f", cng/base)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Paper shape: CONGA's win over ECMP is larger, and appears at lower load, when access ≈ fabric speed.")
+}
+
+func mustFCT(quick bool, s conga.Scheme, topo conga.Topology, load float64) float64 {
+	cfg := fctConfig(quick, s, conga.WorkloadWebSearch, load)
+	cfg.Topology = topo
+	r, err := conga.RunFCT(cfg)
+	check(err)
+	return float64(r.AvgFCT)
+}
+
+// --- Figure 16 ---
+
+func runFig16(quick bool) {
+	// Scaled version of the paper's 288-port fabric: 6 leaves × 4 spines
+	// with 2-member LAGs, sized so hosts can actually offer the target
+	// load (bisection ≈ host capacity).
+	topo := conga.Topology{Leaves: 6, Spines: 4, HostsPerLeaf: 4, LinksPerSpine: 2,
+		AccessGbps: 10, FabricGbps: 5}
+	// 9 deterministic pseudo-random failures, as in the paper's scenario.
+	rng := sim.NewRand(2014)
+	seen := map[[3]int]bool{}
+	for len(topo.FailedLinks) < 9 {
+		f := [3]int{rng.Intn(topo.Leaves), rng.Intn(topo.Spines), rng.Intn(topo.LinksPerSpine)}
+		if !seen[f] {
+			seen[f] = true
+			topo.FailedLinks = append(topo.FailedLinks, f)
+		}
+	}
+	fmt.Printf("6 leaves × 4 spines × 2 links, 9 failed links, web-search at 60%% load.\n")
+	type agg struct{ spineDown, leafUp float64 }
+	out := map[string]agg{}
+	for _, s := range []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGA} {
+		cfg := fctConfig(quick, s, conga.WorkloadWebSearch, 0.6)
+		cfg.Topology = topo
+		cfg.CollectQueues = true
+		r, err := conga.RunFCT(cfg)
+		check(err)
+		var a agg
+		var nd, nu int
+		for name, q := range r.AvgQueueByLink {
+			if name[0] == 's' { // spine→leaf downlinks are named "s<i>..."
+				a.spineDown += q
+				nd++
+			} else {
+				a.leafUp += q
+				nu++
+			}
+		}
+		a.spineDown /= float64(max(1, nd))
+		a.leafUp /= float64(max(1, nu))
+		out[conga.SchemeName(s)] = a
+	}
+	fmt.Printf("  %-8s %22s %22s\n", "scheme", "avg spine-downlink queue", "avg leaf-uplink queue")
+	for _, name := range []string{"ecmp", "conga"} {
+		fmt.Printf("  %-8s %21.0fB %21.0fB\n", name, out[name].spineDown, out[name].leafUp)
+	}
+	if out["conga"].spineDown > 0 {
+		fmt.Printf("  ECMP/CONGA spine-downlink queue ratio: %.1f×\n",
+			out["ecmp"].spineDown/out["conga"].spineDown)
+	}
+	fmt.Println("Paper shape: ECMP's queues ≈10× CONGA's at the spine downlinks adjacent to failures.")
+}
+
+func max[T int | float64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Figure 17 / Theorem 1 ---
+
+func runFig17(quick bool) {
+	fmt.Println("Bottleneck routing game: Nash (selfish, CONGA-like) vs optimal (coordinated).")
+	// The Figure 2 instance: PoA = 1 (CONGA optimal in simple asymmetry).
+	in := anarchy.Uniform(2, 2, 10, []anarchy.User{{Src: 0, Dst: 1, Demand: 15}})
+	in.CapDown[1][1] = 5
+	_, opt, err := in.OptimalBottleneck()
+	check(err)
+	_, nash, err := in.Nash(anarchy.NashOptions{})
+	check(err)
+	fmt.Printf("  Figure-2 instance: optimal bottleneck %.3f, Nash %.3f, PoA %.3f\n", opt, nash, nash/opt)
+
+	// Random instances: empirical PoA stays within Theorem 1's bound of 2.
+	trials := 200
+	if quick {
+		trials = 40
+	}
+	rng := sim.NewRand(99)
+	worst := 1.0
+	for i := 0; i < trials; i++ {
+		leaves, spines := 2+rng.Intn(4), 2+rng.Intn(4)
+		var users []anarchy.User
+		for u := 0; u < 1+rng.Intn(6); u++ {
+			src, dst := rng.Intn(leaves), rng.Intn(leaves)
+			for dst == src {
+				dst = rng.Intn(leaves)
+			}
+			users = append(users, anarchy.User{Src: src, Dst: dst, Demand: 0.5 + 9*rng.Float64()})
+		}
+		inst := anarchy.Uniform(leaves, spines, 0, users)
+		for l := 0; l < leaves; l++ {
+			for s := 0; s < spines; s++ {
+				inst.CapUp[l][s] = 1 + 9*rng.Float64()
+			}
+		}
+		for s := 0; s < spines; s++ {
+			for l := 0; l < leaves; l++ {
+				inst.CapDown[s][l] = 1 + 9*rng.Float64()
+			}
+		}
+		poa, err := inst.PoA([]uint64{0, 1, 2})
+		check(err)
+		if poa > worst {
+			worst = poa
+		}
+	}
+	fmt.Printf("  worst PoA over %d random asymmetric instances: %.3f (Theorem 1 bound: 2)\n", trials, worst)
+}
+
+// --- Theorem 2 ---
+
+func runThm2(quick bool) {
+	runs := 300
+	if quick {
+		runs = 60
+	}
+	fmt.Println("E[χ(t)] (traffic imbalance) for randomized placement on 4 links, λ=2000 flows/s:")
+	fmt.Printf("  %-28s %8s %10s %10s %10s\n", "distribution", "t (s)", "per-flow", "per-flowlet", "bound")
+	for _, d := range []workload.SizeDist{
+		workload.WebSearch(),
+		workload.DataMining(),
+	} {
+		for _, horizon := range []float64{0.5, 2, 8} {
+			base := stochmodel.Config{
+				Links: 4, Lambda: 2000, Dist: d, Horizon: horizon, Runs: runs, Seed: 5,
+			}
+			rf, err := stochmodel.Evaluate(base)
+			check(err)
+			fl := base
+			fl.FlowletBytes = 500 << 10
+			rfl, err := stochmodel.Evaluate(fl)
+			check(err)
+			fmt.Printf("  %-28s %8.1f %10.4f %10.4f %10.4f\n",
+				d.Name(), horizon, rf.MeanImbalance, rfl.MeanImbalance, rf.Bound)
+		}
+	}
+	fmt.Println("Paper shape: imbalance ∝ 1/√t, grows with CV, shrinks with flowlet placement.")
+}
+
+// --- Ablations ---
+
+func runAblation(quick bool) {
+	topo := fctTopo(quick)
+	topo.FailedLinks = [][3]int{{1, 1, 1}}
+	base := conga.DefaultParams()
+	cases := []struct {
+		name   string
+		mutate func(*conga.Params)
+	}{
+		{"default (Q=3, τ=160µs, Tfl=500µs)", func(*conga.Params) {}},
+		{"Q=2 (coarser metrics)", func(p *conga.Params) { p.Q = 2 }},
+		{"Q=6 (finer metrics)", func(p *conga.Params) { p.Q = 6 }},
+		{"τ=40µs (jumpy DRE)", func(p *conga.Params) { p.TDRE = 5 * sim.Microsecond }},
+		{"τ=640µs (sluggish DRE)", func(p *conga.Params) { p.TDRE = 80 * sim.Microsecond }},
+		{"Tfl=100µs (eager flowlets)", func(p *conga.Params) { p.Tfl = 100 * sim.Microsecond }},
+		{"Tfl=13ms (per-flow)", func(p *conga.Params) { p.Tfl = 13 * sim.Millisecond }},
+		{"timestamp gap mode", func(p *conga.Params) { p.GapMode = 1 }},
+		{"sum path metric (§7)", func(p *conga.Params) { p.PathMetric = 1 }},
+	}
+	fmt.Println("CONGA parameter sensitivity — enterprise at 60% load with link failure:")
+	fmt.Printf("  %-36s %10s %10s %10s\n", "variant", "normFCT", "drops", "timeouts")
+	for _, c := range cases {
+		p := base
+		c.mutate(&p)
+		cfg := fctConfig(quick, conga.SchemeCONGA, conga.WorkloadEnterprise, 0.6)
+		cfg.Topology = topo
+		cfg.Params = &p
+		r, err := conga.RunFCT(cfg)
+		check(err)
+		fmt.Printf("  %-36s %10.2f %10d %10d\n", c.name, r.NormFCT, r.Drops, r.Timeouts)
+	}
+	// Per-packet CONGA (Figure 1's rightmost branch): a near-zero flowlet
+	// gap with a reordering-resilient TCP.
+	{
+		p := base
+		p.Tfl = 2 * sim.Microsecond
+		p.GapMode = 1 // timestamp mode: per-packet decisions without sweep cost
+		cfg := fctConfig(quick, conga.SchemeCONGA, conga.WorkloadEnterprise, 0.6)
+		cfg.Topology = topo
+		cfg.Params = &p
+		cfg.Transport.ReorderWindow = 300 * time.Microsecond
+		r, err := conga.RunFCT(cfg)
+		check(err)
+		fmt.Printf("  %-36s %10.2f %10d %10d\n", "per-packet CONGA + reorder-resilient TCP", r.NormFCT, r.Drops, r.Timeouts)
+	}
+	fmt.Println("Paper shape (§3.6): performance robust across Q=3..6, τ=100..500µs, Tfl=300µs..1ms.")
+}

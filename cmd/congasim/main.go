@@ -1,0 +1,181 @@
+// Command congasim runs a single CONGA fabric experiment from the command
+// line: pick a topology, scheme, workload and load, and get the paper's
+// metrics (FCTs by bucket, drops, retransmissions, optional imbalance and
+// queue statistics) on stdout.
+//
+// Examples:
+//
+//	congasim                                    # testbed, CONGA, enterprise, 60%
+//	congasim -scheme ecmp -load 0.9 -workload data-mining
+//	congasim -scheme mptcp -fail 1,1,1          # MPTCP with a failed link
+//	congasim -mode incast -fanout 32 -minrto 1ms
+//	congasim -mode fig2 -scheme local
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	conga "conga"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "fct", "experiment: fct, incast, hdfs, fig2, fig3")
+		scheme   = flag.String("scheme", "conga", "ecmp, conga, conga-flow, local, spray, wcmp, mptcp")
+		workload = flag.String("workload", "enterprise", "enterprise, data-mining, web-search")
+		load     = flag.Float64("load", 0.6, "offered load as a fraction of bisection bandwidth")
+		duration = flag.Duration("duration", 100*time.Millisecond, "arrival window (simulated)")
+		maxFlows = flag.Int("maxflows", 5000, "bound on generated flows")
+		seed     = flag.Uint64("seed", 1, "random seed")
+
+		leaves    = flag.Int("leaves", 2, "leaf switches")
+		spines    = flag.Int("spines", 2, "spine switches")
+		hosts     = flag.Int("hosts", 32, "hosts per leaf")
+		linksPer  = flag.Int("links", 2, "parallel links per leaf-spine pair")
+		accessG   = flag.Float64("access", 10, "access link Gbps")
+		fabricG   = flag.Float64("fabric", 40, "fabric link Gbps")
+		failSpec  = flag.String("fail", "", "failed links as leaf,spine,k[;leaf,spine,k...]")
+		transport = flag.String("transport", "", "tcp or mptcp (defaults by scheme)")
+		minRTO    = flag.Duration("minrto", 200*time.Millisecond, "TCP minimum RTO")
+		mtu       = flag.Int("mtu", 1500, "MTU in bytes")
+		imbalance = flag.Bool("imbalance", false, "collect Figure-12 imbalance stats")
+		queues    = flag.Bool("queues", false, "collect queue occupancy stats")
+
+		fanout = flag.Int("fanout", 16, "incast fan-in (incast mode)")
+		reqMB  = flag.Int("reqmb", 10, "incast request size in MB")
+	)
+	flag.Parse()
+
+	sch, err := parseScheme(*scheme)
+	die(err)
+	topo := conga.Topology{
+		Leaves: *leaves, Spines: *spines, HostsPerLeaf: *hosts, LinksPerSpine: *linksPer,
+		AccessGbps: *accessG, FabricGbps: *fabricG,
+	}
+	topo.FailedLinks, err = parseFailures(*failSpec)
+	die(err)
+
+	tc := conga.TransportConfig{MinRTO: *minRTO, MTU: *mtu}
+	switch *transport {
+	case "mptcp":
+		tc.Kind = conga.TransportMPTCP
+	case "", "tcp":
+	default:
+		die(fmt.Errorf("unknown transport %q", *transport))
+	}
+
+	switch *mode {
+	case "fct":
+		w, err := parseWorkload(*workload)
+		die(err)
+		res, err := conga.RunFCT(conga.FCTConfig{
+			Topology: topo, Scheme: sch, Workload: w, Load: *load,
+			Transport: tc, Duration: *duration, MaxFlows: *maxFlows, Seed: *seed,
+			CollectImbalance: *imbalance, CollectQueues: *queues,
+		})
+		die(err)
+		printFCT(res)
+	case "incast":
+		res, err := conga.RunIncast(conga.IncastConfig{
+			Topology: topo, Scheme: sch, Transport: tc,
+			Fanout: *fanout, RequestBytes: int64(*reqMB) << 20, Seed: *seed,
+		})
+		die(err)
+		fmt.Printf("fanout %d: goodput %.1f%% of access rate, %d rounds, %d drops at client port, %d RTOs\n",
+			res.Fanout, res.GoodputFraction*100, res.CompletedRounds, res.Drops, res.Timeouts)
+	case "hdfs":
+		res, err := conga.RunHDFS(conga.HDFSConfig{
+			Topology: topo, Scheme: sch, Transport: tc,
+			BackgroundLoad: *load, Seed: *seed,
+		})
+		die(err)
+		fmt.Printf("job completion %.2fs (completed=%v), %d blocks, %d MB replicated, %d background flows\n",
+			res.JobCompletion.Seconds(), res.Completed, res.Blocks, res.ReplicaBytes>>20, res.BackgroundFlows)
+	case "fig2":
+		res, err := conga.RunFigure2(sch, *seed)
+		die(err)
+		fmt.Printf("%s: spine0 %.2fG spine1 %.2fG total %.2fG\n",
+			res.Scheme, res.SpineGbps[0], res.SpineGbps[1], res.TotalGbps)
+	case "fig3":
+		for _, busy := range []bool{false, true} {
+			res, err := conga.RunFigure3(sch, busy, *seed)
+			die(err)
+			fmt.Printf("%s L0-busy=%-5v: L1 via S0 %.2fG, via S1 %.2fG\n",
+				res.Scheme, busy, res.LeafUplinkGbps[1][0], res.LeafUplinkGbps[1][1])
+		}
+	default:
+		die(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func printFCT(r *conga.FCTResult) {
+	fmt.Printf("scheme=%s workload=%s load=%.0f%%\n", r.Scheme, r.Workload, r.Load*100)
+	fmt.Printf("flows: generated %d, completed %d\n", r.Generated, r.Completed)
+	fmt.Printf("FCT: avg %v, p99 %v, norm(avg) %.2f, norm(per-flow) %.2f\n",
+		r.AvgFCT.Round(time.Microsecond), r.P99FCT.Round(time.Microsecond), r.NormFCT, r.NormFCTPerFlow)
+	fmt.Printf("buckets: small(<100KB) avg %v over %d, large(>10MB) avg %v over %d\n",
+		r.SmallAvgFCT.Round(time.Microsecond), r.SmallCount, r.LargeAvgFCT.Round(time.Millisecond), r.LargeCount)
+	fmt.Printf("loss: %d drops, %d retransmitted segments, %d RTOs\n", r.Drops, r.Retransmits, r.Timeouts)
+	if r.ImbalanceCDF != nil {
+		fmt.Printf("uplink imbalance: mean %.3f over %d windows\n", r.ImbalanceMean, len(r.ImbalanceCDF))
+	}
+	if r.HotspotQueueCDF != nil {
+		maxq := r.HotspotQueueCDF[len(r.HotspotQueueCDF)-1][0]
+		fmt.Printf("hotspot queue: max %.2f MB\n", maxq/1e6)
+	}
+	fmt.Printf("cost: %v simulated, %d events\n", r.SimTime, r.Events)
+}
+
+func parseScheme(s string) (conga.Scheme, error) {
+	if s == "mptcp" {
+		return conga.SchemeMPTCPMarker, nil
+	}
+	return conga.ParseScheme(s)
+}
+
+func parseWorkload(s string) (conga.Workload, error) {
+	switch s {
+	case "enterprise":
+		return conga.WorkloadEnterprise, nil
+	case "data-mining":
+		return conga.WorkloadDataMining, nil
+	case "web-search":
+		return conga.WorkloadWebSearch, nil
+	}
+	return 0, fmt.Errorf("unknown workload %q", s)
+}
+
+func parseFailures(spec string) ([][3]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out [][3]int
+	for _, part := range strings.Split(spec, ";") {
+		fields := strings.Split(part, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad failure spec %q (want leaf,spine,k)", part)
+		}
+		var f [3]int
+		for i, fs := range fields {
+			v, err := strconv.Atoi(strings.TrimSpace(fs))
+			if err != nil {
+				return nil, fmt.Errorf("bad failure spec %q: %v", part, err)
+			}
+			f[i] = v
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "congasim:", err)
+		os.Exit(1)
+	}
+}

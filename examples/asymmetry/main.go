@@ -1,0 +1,55 @@
+// Asymmetry: the §2.4 design-decision scenarios (Figures 2 and 3) that
+// motivate global congestion awareness.
+//
+// Figure 2: with the (S1, L1) path at half capacity, a scheme that only
+// sees local uplink congestion cannot tell the spines apart — TCP's
+// backpressure even makes the weak path look *less* loaded. CONGA's
+// leaf-to-leaf feedback finds the right 2:1 split.
+//
+// Figure 3: the optimal split depends on other leaves' traffic, so no
+// static weighting (WCMP) can be right in both cases.
+//
+// Run with:
+//
+//	go run ./examples/asymmetry
+package main
+
+import (
+	"fmt"
+	"log"
+
+	conga "conga"
+)
+
+func main() {
+	fmt.Println("=== Figure 2: capacity asymmetry on the remote hop ===")
+	fmt.Println("Demand exceeds capacity; paths through S0/S1 can carry 10/5 Gbps.")
+	for _, s := range []conga.Scheme{conga.SchemeECMP, conga.SchemeLocal, conga.SchemeWCMP, conga.SchemeCONGA} {
+		r, err := conga.RunFigure2(s, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s delivered %5.2f Gbps (S0 %.2f / S1 %.2f)\n",
+			r.Scheme, r.TotalGbps, r.SpineGbps[0], r.SpineGbps[1])
+	}
+
+	fmt.Println()
+	fmt.Println("=== Figure 3: the right split depends on the traffic matrix ===")
+	fmt.Println("L0 reaches the fabric only via S0. How should L1 split its L1→L2 traffic?")
+	for _, s := range []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGA} {
+		for _, busy := range []bool{false, true} {
+			r, err := conga.RunFigure3(s, busy, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := "L0 idle  "
+			if busy {
+				label = "L0 active"
+			}
+			fmt.Printf("  %-8s %s: L1 sends %.2f Gbps via S0, %.2f via S1\n",
+				r.Scheme, label, r.LeafUplinkGbps[1][0], r.LeafUplinkGbps[1][1])
+		}
+	}
+	fmt.Println("\nCONGA shifts L1's traffic off the shared S0 path when L0 loads it;")
+	fmt.Println("a static split (ECMP/WCMP) cannot be correct in both cases (§2.4).")
+}

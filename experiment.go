@@ -1,0 +1,317 @@
+package conga
+
+import (
+	"fmt"
+	"time"
+
+	"conga/internal/core"
+	"conga/internal/fabric"
+	"conga/internal/mptcp"
+	"conga/internal/sim"
+	"conga/internal/stats"
+	"conga/internal/tcp"
+	"conga/internal/workload"
+)
+
+// Workload names a flow-size distribution.
+type Workload int
+
+// The paper's workloads (Figure 8 and §5.5).
+const (
+	WorkloadEnterprise Workload = iota
+	WorkloadDataMining
+	WorkloadWebSearch
+)
+
+func (w Workload) String() string {
+	switch w {
+	case WorkloadEnterprise:
+		return "enterprise"
+	case WorkloadDataMining:
+		return "data-mining"
+	case WorkloadWebSearch:
+		return "web-search"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// SizeDist is a flow-size distribution; see the workload package for the
+// built-ins and the Empirical constructor.
+type SizeDist = workload.SizeDist
+
+// Dist returns the distribution for a named workload.
+func (w Workload) Dist() SizeDist {
+	switch w {
+	case WorkloadEnterprise:
+		return workload.Enterprise()
+	case WorkloadDataMining:
+		return workload.DataMining()
+	case WorkloadWebSearch:
+		return workload.WebSearch()
+	default:
+		panic(fmt.Sprintf("conga: unknown workload %d", int(w)))
+	}
+}
+
+// FCTConfig describes a flow-completion-time experiment (§5.2): an
+// open-loop Poisson workload at a target load over a chosen topology and
+// scheme.
+type FCTConfig struct {
+	Topology  Topology
+	Scheme    Scheme
+	Params    *Params // nil → paper defaults (CONGA-Flow gets its 13 ms timeout)
+	Workload  Workload
+	Custom    SizeDist // overrides Workload when non-nil
+	Load      float64  // fraction of per-direction leaf bisection bandwidth
+	Transport TransportConfig
+
+	// Duration is the arrival window of simulated time. Flows started
+	// inside it are allowed to finish afterwards, up to DrainTimeout.
+	Duration     time.Duration
+	DrainTimeout time.Duration
+	// MaxFlows bounds the experiment (0 = unlimited).
+	MaxFlows int
+
+	Seed uint64
+
+	// CollectImbalance samples leaf-0 uplink throughput imbalance over
+	// 10 ms windows (Figure 12).
+	CollectImbalance bool
+	// CollectQueues samples every fabric queue (Figures 11c and 16).
+	CollectQueues bool
+
+	WCMPWeights []float64
+}
+
+func (c FCTConfig) withDefaults() FCTConfig {
+	c.Topology = c.Topology.withDefaults()
+	if c.Duration == 0 {
+		c.Duration = 40 * time.Millisecond
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 2 * time.Second
+	}
+	if c.MaxFlows == 0 {
+		c.MaxFlows = 10000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Transport = c.Transport.withDefaults()
+	return c
+}
+
+// CDF is a list of (value, cumulative-fraction) points.
+type CDF = [][2]float64
+
+// FCTResult carries the statistics of one experiment run.
+type FCTResult struct {
+	Scheme    string
+	Workload  string
+	Load      float64
+	Generated int
+	Completed int
+
+	// AvgFCT is the mean completion time of finished flows.
+	AvgFCT time.Duration
+	// P99FCT is the 99th-percentile completion time.
+	P99FCT time.Duration
+	// NormFCT is mean(FCT)/mean(optimal FCT), the idle-network
+	// normalization of Figures 9a, 10a and 11a/b (ratio of means: robust
+	// to per-flow outliers).
+	NormFCT float64
+	// NormFCTPerFlow is the mean of per-flow FCT/optimal ratios; it is
+	// tail-sensitive and reported for completeness.
+	NormFCTPerFlow float64
+	// SmallAvgFCT / LargeAvgFCT break the mean down by flow size
+	// (< 100 KB, > 10 MB) for Figures 9b/c and 10b/c.
+	SmallAvgFCT time.Duration
+	LargeAvgFCT time.Duration
+	SmallCount  int
+	LargeCount  int
+
+	// Drops counts packets lost anywhere in the fabric.
+	Drops uint64
+	// Retransmits and Timeouts aggregate sender loss recovery.
+	Retransmits uint64
+	Timeouts    uint64
+
+	// ImbalanceCDF is the Figure 12 series (present when requested).
+	ImbalanceCDF CDF
+	// ImbalanceMean summarizes it.
+	ImbalanceMean float64
+	// QueueCDFs holds per-fabric-link queue occupancy CDFs by link name,
+	// and HotspotQueueCDF the single most loaded link's (Figure 11c).
+	QueueCDFs       map[string]CDF
+	HotspotQueueCDF CDF
+	// AvgQueueByLink reports each fabric link's mean queue in bytes
+	// (Figure 16's per-port series).
+	AvgQueueByLink map[string]float64
+
+	// SimTime is how much virtual time ran; Events how many simulator
+	// events executed (cost accounting for the bench harness).
+	SimTime time.Duration
+	Events  uint64
+}
+
+// OptimalFCT returns the idle-network completion time used for
+// normalization: wire-rate transmission on the access link, store-and-
+// forward of one full segment on each subsequent hop, propagation both
+// ways, and the final ACK's return. It deliberately excludes slow-start
+// effects so the normalization is scheme-independent and monotone in size.
+func OptimalFCT(t Topology, transport TransportConfig, size int64) time.Duration {
+	tt := t.withDefaults()
+	mss := tcp.MTUToMSS(transport.MTU)
+	if mss <= 0 {
+		mss = 1460
+	}
+	segments := (size + int64(mss) - 1) / int64(mss)
+	wireBytes := size + segments*int64(fabric.HeaderOverhead)
+	access := tt.AccessGbps * 1e9
+	fab := tt.FabricGbps * 1e9
+
+	// Pipeline: all bytes serialize once at the access link; the last
+	// segment then stores-and-forwards across leaf→spine, spine→leaf and
+	// leaf→host.
+	lastSeg := size - (segments-1)*int64(mss)
+	lastWire := float64(lastSeg + fabric.HeaderOverhead)
+	transmit := float64(wireBytes*8)/access +
+		(lastWire+float64(core.EncapOverhead))*8/fab + // leaf→spine
+		(lastWire+float64(core.EncapOverhead))*8/fab + // spine→leaf
+		lastWire*8/access // leaf→host
+
+	// Propagation out (2 access + 2 fabric hops) plus the last ACK's trip
+	// back (64 B over four hops plus the same propagation).
+	const prop = 6e-6 // 2·2µs access + 2·1µs fabric
+	ack := 64 * 8 * (2/access + 2/fab)
+	return time.Duration((transmit + 2*prop + ack) * 1e9)
+}
+
+// RunFCT executes one FCT experiment.
+func RunFCT(cfg FCTConfig) (*FCTResult, error) {
+	cfg = cfg.withDefaults()
+	fabScheme, transport, err := schemeForFabric(cfg.Scheme, cfg.Transport.Kind)
+	if err != nil {
+		return nil, err
+	}
+	params := DefaultParams()
+	if cfg.Scheme == SchemeCONGAFlow {
+		params = core.CongaFlowParams()
+	}
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+
+	eng := sim.New()
+	net, err := cfg.Topology.build(eng, fabScheme, params, cfg.WCMPWeights, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	dist := cfg.Custom
+	if dist == nil {
+		dist = cfg.Workload.Dist()
+	}
+
+	rec := &stats.FCTRecorder{}
+	var retx, timeouts uint64
+	tcpCfg := cfg.Transport.tcpConfig()
+	mpCfg := mptcp.Config{Subflows: cfg.Transport.Subflows, TCP: tcpCfg, ChunkSegments: 4}
+
+	stride := uint64(1)
+	if transport == TransportMPTCP {
+		stride = uint64(cfg.Transport.Subflows)
+	}
+
+	starter := func(src, dst *fabric.Host, id uint64, size int64) {
+		opt := sim.Duration(OptimalFCT(cfg.Topology, cfg.Transport, size))
+		switch transport {
+		case TransportMPTCP:
+			mptcp.StartFlow(eng, src, dst, id, size, mpCfg, func(f *mptcp.Flow, now sim.Time) {
+				rec.Record(size, f.FCT(now), opt)
+				for _, s := range f.Conn.Subflows() {
+					st := s.Stats()
+					retx += st.RetxSegments
+					timeouts += st.Timeouts
+				}
+			})
+		default:
+			tcp.StartFlow(eng, src, dst, id, size, tcpCfg, func(f *tcp.Flow, now sim.Time) {
+				rec.Record(size, f.FCT(now), opt)
+				st := f.Sender.Stats()
+				retx += st.RetxSegments
+				timeouts += st.Timeouts
+			})
+		}
+	}
+
+	gen, err := workload.NewGenerator(eng, net, workload.GenConfig{
+		Load:          cfg.Load,
+		Dist:          dist,
+		Duration:      sim.Duration(cfg.Duration),
+		MaxFlows:      cfg.MaxFlows,
+		InterLeafOnly: true,
+		Stride:        stride,
+		Seed:          cfg.Seed,
+	}, starter)
+	if err != nil {
+		return nil, err
+	}
+
+	var imb *stats.ImbalanceSampler
+	if cfg.CollectImbalance {
+		imb = stats.NewImbalanceSampler(net.Leaves[0].Uplinks(), 10*sim.Millisecond)
+		imb.Start(eng)
+	}
+	var qs *stats.QueueSampler
+	if cfg.CollectQueues {
+		qs = stats.NewQueueSampler(net.FabricLinks(), 100*sim.Microsecond)
+		qs.Start(eng)
+	}
+
+	gen.Start()
+	eng.Run(sim.Duration(cfg.Duration) + sim.Duration(cfg.DrainTimeout))
+
+	res := &FCTResult{
+		Scheme:         SchemeName(cfg.Scheme),
+		Workload:       dist.Name(),
+		Load:           cfg.Load,
+		Generated:      gen.Generated,
+		Completed:      rec.Flows,
+		AvgFCT:         time.Duration(rec.Overall.Mean() * 1e9),
+		P99FCT:         time.Duration(rec.Overall.Quantile(0.99) * 1e9),
+		NormFCT:        rec.NormOfMeans(),
+		NormFCTPerFlow: rec.OverallNorm.Mean(),
+		SmallAvgFCT:    time.Duration(rec.Small.Mean() * 1e9),
+		LargeAvgFCT:    time.Duration(rec.Large.Mean() * 1e9),
+		SmallCount:     rec.Small.N(),
+		LargeCount:     rec.Large.N(),
+		Drops:          net.TotalDrops(),
+		Retransmits:    retx,
+		Timeouts:       timeouts,
+		SimTime:        time.Duration(eng.Now()),
+		Events:         eng.Executed(),
+	}
+	if imb != nil {
+		res.ImbalanceCDF = imb.Values.CDF()
+		res.ImbalanceMean = imb.Values.Mean()
+	}
+	if qs != nil {
+		res.QueueCDFs = make(map[string]CDF, len(net.FabricLinks()))
+		res.AvgQueueByLink = make(map[string]float64, len(net.FabricLinks()))
+		hotIdx, hotMean := -1, -1.0
+		for i, l := range net.FabricLinks() {
+			res.QueueCDFs[l.Name] = qs.PerLink[i].CDF()
+			m := qs.PerLink[i].Mean()
+			res.AvgQueueByLink[l.Name] = m
+			if m > hotMean {
+				hotMean, hotIdx = m, i
+			}
+		}
+		if hotIdx >= 0 {
+			res.HotspotQueueCDF = qs.PerLink[hotIdx].CDF()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,3 @@
+module conga
+
+go 1.22

@@ -1,0 +1,154 @@
+package conga
+
+import (
+	"time"
+
+	"conga/internal/fabric"
+	"conga/internal/hdfs"
+	"conga/internal/mptcp"
+	"conga/internal/sim"
+	"conga/internal/tcp"
+	"conga/internal/workload"
+)
+
+// HDFSConfig describes a Figure 14 trial: a TestDFSIO-like replicated
+// write job with background enterprise traffic.
+type HDFSConfig struct {
+	Topology  Topology
+	Scheme    Scheme
+	Transport TransportConfig
+
+	// Writers, BytesPerWriter and BlockBytes size the job (scaled down
+	// from the paper's 63 writers × ~16 GB).
+	Writers        int
+	BytesPerWriter int64
+	BlockBytes     int64
+	// DiskMBps is the per-node disk write rate.
+	DiskMBps float64
+
+	// BackgroundLoad adds enterprise-workload traffic at this fraction of
+	// bisection bandwidth (the paper's setup, §5.4).
+	BackgroundLoad float64
+
+	// Timeout bounds the trial in simulated time.
+	Timeout time.Duration
+
+	Seed uint64
+}
+
+func (c HDFSConfig) withDefaults() HDFSConfig {
+	c.Topology = c.Topology.withDefaults()
+	c.Transport = c.Transport.withDefaults()
+	if c.Writers == 0 {
+		c.Writers = c.Topology.Leaves*c.Topology.HostsPerLeaf - 1
+	}
+	if c.BytesPerWriter == 0 {
+		c.BytesPerWriter = 8 << 20
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 1 << 20
+	}
+	if c.DiskMBps == 0 {
+		c.DiskMBps = 100
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// HDFSResult reports one trial.
+type HDFSResult struct {
+	Scheme string
+	// JobCompletion is the TestDFSIO job completion time (Figure 14's
+	// y-axis).
+	JobCompletion time.Duration
+	// Completed reports whether the job finished within Timeout.
+	Completed bool
+	// Blocks and ReplicaBytes describe the work done.
+	Blocks       int
+	ReplicaBytes int64
+	// BackgroundFlows counts background transfers generated.
+	BackgroundFlows int
+}
+
+// RunHDFS executes one Figure 14 trial.
+func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
+	cfg = cfg.withDefaults()
+	fabScheme, transport, err := schemeForFabric(cfg.Scheme, cfg.Transport.Kind)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	net, err := cfg.Topology.build(eng, fabScheme, DefaultParams(), nil, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	tcpCfg := cfg.Transport.tcpConfig()
+	mpCfg := mptcp.Config{Subflows: cfg.Transport.Subflows, TCP: tcpCfg, ChunkSegments: 4}
+
+	// Background enterprise traffic for the whole trial window.
+	var gen *workload.Generator
+	if cfg.BackgroundLoad > 0 {
+		starter := func(src, dst *fabric.Host, id uint64, size int64) {
+			if transport == TransportMPTCP {
+				mptcp.StartFlow(eng, src, dst, id, size, mpCfg, nil)
+			} else {
+				tcp.StartFlow(eng, src, dst, id, size, tcpCfg, nil)
+			}
+		}
+		gen, err = workload.NewGenerator(eng, net, workload.GenConfig{
+			Load:          cfg.BackgroundLoad,
+			Dist:          workload.Enterprise(),
+			Duration:      sim.Duration(cfg.Timeout),
+			InterLeafOnly: true,
+			Stride:        uint64(cfg.Transport.Subflows),
+			Seed:          cfg.Seed + 99,
+		}, starter)
+		if err != nil {
+			return nil, err
+		}
+		gen.Start()
+	}
+
+	// The job itself replicates with TCP regardless of the background
+	// transport, as HDFS does.
+	jobTCP := tcpCfg
+	jobRes, err := hdfs.Run(eng, net, hdfs.Config{
+		Writers:        cfg.Writers,
+		BytesPerWriter: cfg.BytesPerWriter,
+		BlockBytes:     cfg.BlockBytes,
+		DiskBps:        cfg.DiskMBps * 8e6,
+		TCP:            jobTCP,
+		Seed:           cfg.Seed,
+	}, func(r *hdfs.Result, now sim.Time) {
+		// Stop promptly once the job completes; lingering background
+		// flows don't affect the measurement.
+		eng.Stop()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	eng.Run(sim.Duration(cfg.Timeout))
+
+	res := &HDFSResult{
+		Scheme:       SchemeName(cfg.Scheme),
+		Blocks:       jobRes.Blocks,
+		ReplicaBytes: jobRes.ReplicaBytes,
+	}
+	if gen != nil {
+		res.BackgroundFlows = gen.Generated
+	}
+	if jobRes.CompletionTime > 0 {
+		res.Completed = true
+		res.JobCompletion = time.Duration(jobRes.CompletionTime)
+	} else {
+		res.JobCompletion = cfg.Timeout
+	}
+	return res, nil
+}

@@ -1,0 +1,179 @@
+package conga
+
+import (
+	"fmt"
+	"time"
+
+	"conga/internal/mptcp"
+	"conga/internal/sim"
+	"conga/internal/tcp"
+)
+
+// IncastConfig describes the §5.3 Incast micro-benchmark: one client
+// repeatedly requests a file striped across N servers; all servers respond
+// simultaneously, colliding at the client's access link.
+type IncastConfig struct {
+	Topology  Topology
+	Scheme    Scheme
+	Transport TransportConfig
+
+	// Fanout is N, the number of servers striping the response.
+	Fanout int
+	// RequestBytes is the total response size per request (paper: 10 MB).
+	RequestBytes int64
+	// Rounds is how many synchronized requests to issue back-to-back.
+	Rounds int
+	// Timeout bounds the whole run of simulated time.
+	Timeout time.Duration
+
+	Seed uint64
+}
+
+func (c IncastConfig) withDefaults() IncastConfig {
+	c.Topology = c.Topology.withDefaults()
+	c.Transport = c.Transport.withDefaults()
+	if c.Fanout == 0 {
+		c.Fanout = 16
+	}
+	if c.RequestBytes == 0 {
+		c.RequestBytes = 10 << 20
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 5
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 20 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// IncastResult reports the effective client goodput.
+type IncastResult struct {
+	Fanout int
+	// GoodputFraction is the achieved goodput over the client access-link
+	// rate — the y-axis of Figure 13.
+	GoodputFraction float64
+	// CompletedRounds counts requests fully answered within Timeout.
+	CompletedRounds int
+	// TotalTime is the simulated time to finish all rounds.
+	TotalTime time.Duration
+	// Drops counts losses at the client's access port.
+	Drops uint64
+	// Timeouts aggregates sender RTOs, the Incast signature.
+	Timeouts uint64
+}
+
+// RunIncast executes the Incast micro-benchmark and returns the effective
+// throughput. The client is host 0; servers are the next Fanout hosts
+// (spread across both racks, as in the testbed where all 63 other servers
+// respond).
+func RunIncast(cfg IncastConfig) (*IncastResult, error) {
+	cfg = cfg.withDefaults()
+	fabScheme, transport, err := schemeForFabric(cfg.Scheme, cfg.Transport.Kind)
+	if err != nil {
+		return nil, err
+	}
+	totalHosts := cfg.Topology.Leaves * cfg.Topology.HostsPerLeaf
+	if cfg.Fanout >= totalHosts {
+		return nil, fmt.Errorf("conga: fanout %d needs more than %d hosts", cfg.Fanout, totalHosts)
+	}
+
+	eng := sim.New()
+	net, err := cfg.Topology.build(eng, fabScheme, DefaultParams(), nil, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	client := net.Host(0)
+	perServer := cfg.RequestBytes / int64(cfg.Fanout)
+	if perServer < 1 {
+		perServer = 1
+	}
+	tcpCfg := cfg.Transport.tcpConfig()
+	mpCfg := mptcp.Config{Subflows: cfg.Transport.Subflows, TCP: tcpCfg, ChunkSegments: 4}
+
+	// Persistent connections: one sender per server, created up front, so
+	// RTT estimators are warm when the synchronized burst hits — matching
+	// the benchmark applications the paper cites.
+	type server struct {
+		tcpSend *tcp.Sender
+		mpConn  *mptcp.Connection
+	}
+	servers := make([]server, cfg.Fanout)
+	remaining := 0
+	var roundStart sim.Time
+	var roundsDone int
+	var busyTime sim.Time
+	var startRound func(now sim.Time)
+
+	onServerDone := func(now sim.Time) {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		busyTime += now - roundStart
+		roundsDone++
+		if roundsDone < cfg.Rounds {
+			startRound(now)
+		}
+	}
+
+	for i := 0; i < cfg.Fanout; i++ {
+		srcHost := net.Host(i + 1)
+		switch transport {
+		case TransportMPTCP:
+			// The connection allocates and owns its client-side receivers.
+			conn := mptcp.Dial(eng, srcHost, client, uint64(1000+i*16), mpCfg)
+			conn.OnComplete = onServerDone
+			servers[i].mpConn = conn
+		default:
+			port := client.AllocPort()
+			tcp.NewReceiver(client, port)
+			s := tcp.NewSender(eng, srcHost, uint64(1000+i*16), client.ID, port, tcpCfg)
+			s.OnAllAcked = onServerDone
+			servers[i].tcpSend = s
+		}
+	}
+
+	startRound = func(now sim.Time) {
+		roundStart = now
+		remaining = cfg.Fanout
+		for _, sv := range servers {
+			if sv.mpConn != nil {
+				sv.mpConn.Transfer(perServer, now)
+			} else {
+				sv.tcpSend.Queue(perServer, now)
+			}
+		}
+	}
+	eng.At(0, func(now sim.Time) { startRound(now) })
+	eng.Run(sim.Duration(cfg.Timeout))
+
+	var rtos uint64
+	for _, sv := range servers {
+		if sv.mpConn != nil {
+			for _, s := range sv.mpConn.Subflows() {
+				rtos += s.Stats().Timeouts
+			}
+		} else {
+			rtos += sv.tcpSend.Stats().Timeouts
+		}
+	}
+
+	res := &IncastResult{
+		Fanout:          cfg.Fanout,
+		CompletedRounds: roundsDone,
+		TotalTime:       time.Duration(eng.Now()),
+		Drops:           net.Leaves[0].Downlink(client.ID).Drops,
+		Timeouts:        rtos,
+	}
+	if roundsDone > 0 && busyTime > 0 {
+		bytes := float64(perServer) * float64(cfg.Fanout) * float64(roundsDone)
+		goodput := bytes * 8 / busyTime.Seconds()
+		res.GoodputFraction = goodput / (cfg.Topology.AccessGbps * 1e9)
+	}
+	return res, nil
+}

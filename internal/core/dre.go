@@ -1,0 +1,70 @@
+package core
+
+// DRE is the Discounting Rate Estimator from §3.2: a single register X that
+// is incremented by the packet size on every transmission over the link and
+// decremented periodically (every TDRE) by a multiplicative factor
+// X ← X·(1−α). If the traffic rate is R, then X ≈ R·τ with τ = TDRE/α; the
+// congestion metric for the link is X/(C·τ) quantized to Q bits.
+//
+// Compared to an EWMA, the DRE needs one register instead of two and reacts
+// immediately to bursts (increments happen on packet arrival, not on timer
+// boundaries) while still retaining memory of past bursts.
+//
+// The caller drives time: the owning switch calls Add on every transmitted
+// packet and Decay from a TDRE-period ticker. DRE itself holds no timers, so
+// it can also be unit-tested and reused outside the simulator.
+type DRE struct {
+	x        float64 // the single ASIC register, in bytes
+	scale    float64 // C·τ in bytes: link capacity × time constant
+	alpha    float64
+	quantLvl float64 // 2^Q
+	maxQ     uint8   // 2^Q − 1
+}
+
+// NewDRE returns a DRE for a link of capacityBps bits per second, with the
+// given parameters. It panics on a non-positive capacity because a DRE with
+// no normalization scale would quantize everything to the maximum metric.
+func NewDRE(capacityBps float64, p Params) *DRE {
+	if capacityBps <= 0 {
+		panic("core: DRE requires positive link capacity")
+	}
+	tauSec := p.Tau().Seconds()
+	return &DRE{
+		scale:    capacityBps / 8 * tauSec,
+		alpha:    p.Alpha,
+		quantLvl: float64(int(1) << p.Q),
+		maxQ:     p.MaxMetric(),
+	}
+}
+
+// Add records the transmission of a packet of the given wire size in bytes.
+func (d *DRE) Add(bytes int) { d.x += float64(bytes) }
+
+// Decay applies the periodic multiplicative decrement X ← X·(1−α). The
+// owning switch calls it every TDRE.
+func (d *DRE) Decay() { d.x *= 1 - d.alpha }
+
+// X returns the current register value in bytes, exposed for tests and for
+// debugging counters.
+func (d *DRE) X() float64 { return d.x }
+
+// Utilization returns the estimated link utilization X/(C·τ). Values above
+// 1 are possible transiently when a burst arrives faster than the decay
+// drains it; Quantized clamps them.
+func (d *DRE) Utilization() float64 { return d.x / d.scale }
+
+// Quantized returns the Q-bit congestion metric: floor(X/(C·τ) · 2^Q),
+// clamped to [0, 2^Q−1].
+func (d *DRE) Quantized() uint8 {
+	q := d.Utilization() * d.quantLvl
+	if q >= float64(d.maxQ) {
+		return d.maxQ
+	}
+	if q <= 0 {
+		return 0
+	}
+	return uint8(q)
+}
+
+// Reset clears the register, as on link flap.
+func (d *DRE) Reset() { d.x = 0 }

@@ -1,0 +1,57 @@
+package core
+
+// EWMA is the classical exponentially-weighted moving-average rate
+// estimator that §3.2 compares the DRE against: it samples the byte count
+// over each timer period and smooths it. It needs two registers (the
+// accumulator and the average) where the DRE needs one, and it only
+// reflects a burst after the period boundary, while the DRE's register
+// jumps the moment the burst's bytes are added.
+//
+// It exists for the DESIGN.md ablation reproducing the paper's claim; the
+// fabric always uses the DRE.
+type EWMA struct {
+	bucket float64 // bytes accumulated in the current period
+	avg    float64 // smoothed bytes-per-period
+	alpha  float64
+	scale  float64 // C·Tdre in bytes: full-rate bytes per period
+	quant  float64
+	maxQ   uint8
+}
+
+// NewEWMA returns an estimator for a link of capacityBps using the same α,
+// period and quantization as the DRE would.
+func NewEWMA(capacityBps float64, p Params) *EWMA {
+	if capacityBps <= 0 {
+		panic("core: EWMA requires positive link capacity")
+	}
+	return &EWMA{
+		alpha: p.Alpha,
+		scale: capacityBps / 8 * p.TDRE.Seconds(),
+		quant: float64(int(1) << p.Q),
+		maxQ:  p.MaxMetric(),
+	}
+}
+
+// Add records a transmitted packet's bytes.
+func (e *EWMA) Add(bytes int) { e.bucket += float64(bytes) }
+
+// Tick closes the current period: avg ← α·bucket + (1−α)·avg.
+func (e *EWMA) Tick() {
+	e.avg = e.alpha*e.bucket + (1-e.alpha)*e.avg
+	e.bucket = 0
+}
+
+// Utilization returns the smoothed utilization estimate.
+func (e *EWMA) Utilization() float64 { return e.avg / e.scale }
+
+// Quantized returns the Q-bit congestion metric.
+func (e *EWMA) Quantized() uint8 {
+	q := e.Utilization() * e.quant
+	if q >= float64(e.maxQ) {
+		return e.maxQ
+	}
+	if q <= 0 {
+		return 0
+	}
+	return uint8(q)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{VNI: 0xABCDEF, LBTag: 11, CE: 5, FBValid: true, FBLBTag: 3, FBMetric: 7}
+	buf, err := h.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != HeaderLen {
+		t.Fatalf("encoded length %d, want %d", len(buf), HeaderLen)
+	}
+	got, err := DecodeHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch: got %+v, want %+v", got, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(vni uint32, lbTag, ce, fbTag, fbMetric uint8, fbValid bool) bool {
+		h := Header{
+			VNI:      vni & 0xFFFFFF,
+			LBTag:    lbTag & maxLBTag,
+			CE:       ce & maxCE,
+			FBValid:  fbValid,
+			FBLBTag:  fbTag & maxLBTag,
+			FBMetric: fbMetric & maxCE,
+		}
+		buf, err := h.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeHeader(buf)
+		return err == nil && got == h
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderEncodeRejectsOverflow(t *testing.T) {
+	cases := []Header{
+		{VNI: 1 << 24},
+		{LBTag: 16},
+		{CE: 8},
+		{FBLBTag: 16},
+		{FBMetric: 8},
+	}
+	for i, h := range cases {
+		if _, err := h.Encode(nil); err == nil {
+			t.Errorf("case %d: overflowing header encoded without error", i)
+		}
+	}
+}
+
+func TestHeaderDecodeRejectsShortBuffer(t *testing.T) {
+	if _, err := DecodeHeader(make([]byte, 7)); err == nil {
+		t.Fatal("short buffer decoded")
+	}
+}
+
+func TestHeaderDecodeRequiresIFlag(t *testing.T) {
+	buf := make([]byte, HeaderLen)
+	if _, err := DecodeHeader(buf); err == nil {
+		t.Fatal("header without I flag decoded")
+	}
+}
+
+func TestHeaderEncodeAppends(t *testing.T) {
+	prefix := []byte{0xDE, 0xAD}
+	buf, err := Header{VNI: 7}.Encode(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 2+HeaderLen || buf[0] != 0xDE || buf[1] != 0xAD {
+		t.Fatalf("Encode did not append: %x", buf)
+	}
+	if _, err := DecodeHeader(buf[2:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderIsValidVXLAN(t *testing.T) {
+	// With all CONGA fields zero the header must be a canonical VXLAN
+	// header: flags byte 0x08, VNI in bytes 4..6, everything else zero.
+	buf, err := Header{VNI: 0x123456}.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x08, 0, 0, 0, 0x12, 0x34, 0x56, 0}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("byte %d = %#02x, want %#02x (buf %x)", i, buf[i], want[i], buf)
+		}
+	}
+}
+
+func TestEncapOverheadMatchesVXLANStack(t *testing.T) {
+	// Outer Ethernet 18 + IPv4 20 + UDP 8 + VXLAN 8 = 54.
+	if EncapOverhead != 54 {
+		t.Fatalf("EncapOverhead = %d, want 54", EncapOverhead)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"conga/internal/sim"
+)
+
+// combine composes one uplink's local and remote metrics per the chosen
+// path metric (saturating at 255 for the sum; wire saturation happens in
+// MarkCE).
+func combine(pm PathMetric, local, remote uint8) uint8 {
+	if pm == PathMetricSum {
+		s := int(local) + int(remote)
+		if s > 255 {
+			s = 255
+		}
+		return uint8(s)
+	}
+	if remote > local {
+		return remote
+	}
+	return local
+}
+
+// MarkCE updates a packet's CE field for a traversed link with metric m,
+// saturating at the header's 3-bit limit. Max mode is the paper's §3.3
+// hop-by-hop maximum; sum mode is the §7 alternative.
+func MarkCE(pm PathMetric, ce, m uint8) uint8 {
+	if pm == PathMetricSum {
+		s := int(ce) + int(m)
+		if s > maxCE {
+			s = maxCE
+		}
+		return uint8(s)
+	}
+	if m > ce {
+		return m
+	}
+	return ce
+}
+
+// Decide implements the load-balancing decision logic of §3.5 for the first
+// packet of a flowlet with the paper's max path metric: among allowed
+// uplinks, pick the one minimizing max(localMetric, remoteMetric).
+func Decide(localMetrics, remoteMetrics []uint8, allowed []bool, preferred int, rng *sim.Rand) int {
+	return DecideMetric(PathMetricMax, localMetrics, remoteMetrics, allowed, preferred, rng)
+}
+
+// DecideMetric is Decide with an explicit path-metric composition. Ties
+// prefer the uplink the flow's last flowlet used (preferred, −1 if none)
+// so a flow only moves when a strictly better uplink exists; remaining
+// ties break uniformly at random.
+//
+// localMetrics and remoteMetrics must have equal length; allowed may be
+// nil (all uplinks usable). It returns −1 if no uplink is allowed.
+func DecideMetric(pm PathMetric, localMetrics, remoteMetrics []uint8, allowed []bool, preferred int, rng *sim.Rand) int {
+	if len(localMetrics) != len(remoteMetrics) {
+		panic(fmt.Sprintf("core: metric slices of unequal length %d vs %d",
+			len(localMetrics), len(remoteMetrics)))
+	}
+	best := uint8(255)
+	count := 0 // number of uplinks achieving best
+	for i := range localMetrics {
+		if allowed != nil && !allowed[i] {
+			continue
+		}
+		m := combine(pm, localMetrics[i], remoteMetrics[i])
+		if m < best {
+			best = m
+			count = 1
+		} else if m == best {
+			count++
+		}
+	}
+	if count == 0 {
+		return -1
+	}
+	// Preferred uplink wins ties.
+	if preferred >= 0 && preferred < len(localMetrics) && (allowed == nil || allowed[preferred]) {
+		if combine(pm, localMetrics[preferred], remoteMetrics[preferred]) == best {
+			return preferred
+		}
+	}
+	// Uniform choice among the minima.
+	pick := 0
+	if rng != nil {
+		pick = rng.Intn(count)
+	}
+	for i := range localMetrics {
+		if allowed != nil && !allowed[i] {
+			continue
+		}
+		if combine(pm, localMetrics[i], remoteMetrics[i]) == best {
+			if pick == 0 {
+				return i
+			}
+			pick--
+		}
+	}
+	panic("core: unreachable: minimum disappeared")
+}
+
+// Leaf bundles the per-leaf CONGA state: the flowlet table, both congestion
+// tables, and the decision RNG. It is the algorithmic content of the Leaf
+// ASIC; the fabric's leaf switch owns one and additionally owns the per-
+// uplink DREs (which belong to the links themselves).
+type Leaf struct {
+	ID     int
+	Params Params
+
+	Flowlets *FlowletTable
+	ToLeaf   *CongestionToLeaf
+	FromLeaf *CongestionFromLeaf
+
+	rng        *sim.Rand
+	numUplinks int
+	remoteBuf  []uint8
+
+	// Decisions counts flowlet-level LB decisions; Moves counts decisions
+	// that picked a different uplink than the previous flowlet.
+	Decisions, Moves uint64
+}
+
+// NewLeaf returns the CONGA state for leaf id in a fabric of numLeaves
+// leaves where this leaf has numUplinks uplinks. It panics on invalid
+// Params so misconfiguration fails loudly at construction.
+func NewLeaf(id, numLeaves, numUplinks int, p Params, rng *sim.Rand) *Leaf {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if numUplinks > p.MaxUplinks {
+		panic(fmt.Sprintf("core: %d uplinks exceeds MaxUplinks %d", numUplinks, p.MaxUplinks))
+	}
+	return &Leaf{
+		ID:         id,
+		Params:     p,
+		Flowlets:   NewFlowletTable(p),
+		ToLeaf:     NewCongestionToLeaf(numLeaves, numUplinks, p),
+		FromLeaf:   NewCongestionFromLeaf(numLeaves, p.MaxUplinks, p),
+		rng:        rng,
+		numUplinks: numUplinks,
+		remoteBuf:  make([]uint8, numUplinks),
+	}
+}
+
+// SelectUplink makes the forwarding decision for one packet of the flow
+// identified by flowHash, destined to dstLeaf. localMetrics are the current
+// quantized DRE values of this leaf's uplinks, and allowed marks uplinks
+// that are up (nil = all). It returns the chosen uplink and whether this
+// packet started a new flowlet. A return of −1 means no uplink is usable.
+func (l *Leaf) SelectUplink(flowHash uint64, dstLeaf int, localMetrics []uint8, allowed []bool, now sim.Time) (uplink int, newFlowlet bool) {
+	port, active := l.Flowlets.Lookup(flowHash, now)
+	if active && (allowed == nil || (port < len(allowed) && allowed[port])) {
+		return port, false
+	}
+	remote := l.ToLeaf.Metrics(dstLeaf, now, l.remoteBuf)
+	choice := DecideMetric(l.Params.PathMetric, localMetrics, remote, allowed, port, l.rng)
+	if choice < 0 {
+		return -1, true
+	}
+	l.Decisions++
+	if port >= 0 && choice != port {
+		l.Moves++
+	}
+	l.Flowlets.Install(flowHash, choice, now)
+	return choice, true
+}
+
+// OnFabricArrival processes the CONGA header of a packet received from the
+// fabric (this leaf is the destination TEP): it stores the path congestion
+// in the Congestion-From-Leaf table and applies any piggybacked feedback to
+// the Congestion-To-Leaf table.
+func (l *Leaf) OnFabricArrival(srcLeaf int, h Header, now sim.Time) {
+	l.FromLeaf.Observe(srcLeaf, h.LBTag, h.CE, now)
+	if h.FBValid && int(h.FBLBTag) < l.numUplinks {
+		l.ToLeaf.Update(srcLeaf, int(h.FBLBTag), h.FBMetric, now)
+	}
+}
+
+// PrepareHeader builds the CONGA header for a packet this leaf is sending
+// to dstLeaf on the given uplink, piggybacking one feedback metric if any
+// is pending.
+func (l *Leaf) PrepareHeader(dstLeaf, uplink int, vni uint32, now sim.Time) Header {
+	h := Header{VNI: vni, LBTag: uint8(uplink)}
+	if tag, metric, ok := l.FromLeaf.PickFeedback(dstLeaf, now); ok {
+		h.FBValid = true
+		h.FBLBTag = tag
+		h.FBMetric = metric
+	}
+	return h
+}
+
+// SweepFlowlets runs the periodic age-bit sweep; the owning switch calls it
+// every Tfl.
+func (l *Leaf) SweepFlowlets() { l.Flowlets.Sweep() }

@@ -1,0 +1,167 @@
+package core
+
+import "conga/internal/sim"
+
+// metricAge tracks a quantized congestion metric together with its last
+// update time so stale values can decay (§3.3, "metric aging"). A metric
+// untouched for AgeTimeout decays linearly to zero over a further
+// AgeTimeout, which both prevents routing on stale state and guarantees
+// that a path that looked congested is eventually probed again.
+type metricAge struct {
+	value   uint8
+	updated sim.Time
+	touched bool
+}
+
+func (m *metricAge) set(v uint8, now sim.Time) {
+	m.value = v
+	m.updated = now
+	m.touched = true
+}
+
+func (m *metricAge) get(now sim.Time, ageTimeout sim.Time) uint8 {
+	if !m.touched || m.value == 0 {
+		return 0
+	}
+	idle := now - m.updated
+	if idle <= ageTimeout {
+		return m.value
+	}
+	// Linear decay from full value at ageTimeout to zero at 2·ageTimeout.
+	excess := idle - ageTimeout
+	if excess >= ageTimeout {
+		return 0
+	}
+	remain := float64(ageTimeout-excess) / float64(ageTimeout)
+	return uint8(float64(m.value) * remain)
+}
+
+// CongestionToLeaf is the source-side table (§3): for each destination leaf
+// and each local uplink it stores the maximum congestion over the fabric
+// path(s) that start at that uplink, as learned from feedback. The LB
+// decision takes the max of this remote metric and the local uplink DRE.
+type CongestionToLeaf struct {
+	metrics    [][]metricAge // [destLeaf][uplink]
+	ageTimeout sim.Time
+}
+
+// NewCongestionToLeaf returns a table covering numLeaves destinations and
+// numUplinks local uplinks. Remote metrics start at zero: an unknown path
+// is assumed uncongested, which is what makes new paths get probed.
+func NewCongestionToLeaf(numLeaves, numUplinks int, p Params) *CongestionToLeaf {
+	t := &CongestionToLeaf{
+		metrics:    make([][]metricAge, numLeaves),
+		ageTimeout: p.AgeTimeout,
+	}
+	for i := range t.metrics {
+		t.metrics[i] = make([]metricAge, numUplinks)
+	}
+	return t
+}
+
+// Update records feedback: the path to destLeaf via uplink has congestion
+// metric value.
+func (t *CongestionToLeaf) Update(destLeaf, uplink int, value uint8, now sim.Time) {
+	t.metrics[destLeaf][uplink].set(value, now)
+}
+
+// Metric returns the (aged) remote congestion metric for destLeaf via
+// uplink.
+func (t *CongestionToLeaf) Metric(destLeaf, uplink int, now sim.Time) uint8 {
+	return t.metrics[destLeaf][uplink].get(now, t.ageTimeout)
+}
+
+// Metrics fills dst with the aged metrics for every uplink toward destLeaf
+// and returns it; dst must have length ≥ the uplink count.
+func (t *CongestionToLeaf) Metrics(destLeaf int, now sim.Time, dst []uint8) []uint8 {
+	row := t.metrics[destLeaf]
+	for i := range row {
+		dst[i] = row[i].get(now, t.ageTimeout)
+	}
+	return dst[:len(row)]
+}
+
+// CongestionFromLeaf is the destination-side table (§3.3 step 3): per
+// source leaf, per LBTag, the latest CE metric seen on arriving packets,
+// waiting to be piggybacked back to that source. The table also tracks
+// which entries changed since they were last fed back so feedback selection
+// can favour fresh information.
+type CongestionFromLeaf struct {
+	metrics [][]metricAge // [srcLeaf][lbTag]
+	changed [][]bool
+	rr      []int // per-srcLeaf round-robin cursor
+	ageOut  sim.Time
+}
+
+// NewCongestionFromLeaf returns a table covering numLeaves sources and
+// numTags LBTag values.
+func NewCongestionFromLeaf(numLeaves, numTags int, p Params) *CongestionFromLeaf {
+	t := &CongestionFromLeaf{
+		metrics: make([][]metricAge, numLeaves),
+		changed: make([][]bool, numLeaves),
+		rr:      make([]int, numLeaves),
+		ageOut:  p.AgeTimeout,
+	}
+	for i := range t.metrics {
+		t.metrics[i] = make([]metricAge, numTags)
+		t.changed[i] = make([]bool, numTags)
+	}
+	return t
+}
+
+// Observe records the CE metric of a packet that arrived from srcLeaf with
+// the given LBTag.
+func (t *CongestionFromLeaf) Observe(srcLeaf int, lbTag uint8, ce uint8, now sim.Time) {
+	m := &t.metrics[srcLeaf][lbTag]
+	if !m.touched || m.value != ce {
+		t.changed[srcLeaf][lbTag] = true
+	}
+	m.set(ce, now)
+}
+
+// PickFeedback selects one (LBTag, metric) pair to piggyback on a packet
+// going to dstLeaf (the leaf that originally sent us the observed traffic).
+// Selection is round-robin over LBTags, favouring entries whose value has
+// changed since they were last fed back (§3.3 step 4). It returns ok=false
+// when nothing has ever been observed from that leaf.
+func (t *CongestionFromLeaf) PickFeedback(dstLeaf int, now sim.Time) (lbTag uint8, metric uint8, ok bool) {
+	row := t.metrics[dstLeaf]
+	ch := t.changed[dstLeaf]
+	n := len(row)
+	start := t.rr[dstLeaf]
+	// First pass: the next changed entry in round-robin order.
+	for i := 0; i < n; i++ {
+		j := (start + i) % n
+		if row[j].touched && ch[j] {
+			return t.emit(dstLeaf, j, now)
+		}
+	}
+	// Second pass: plain round-robin over touched entries, so metrics keep
+	// refreshing (and re-arm aging) even in steady state.
+	for i := 0; i < n; i++ {
+		j := (start + i) % n
+		if row[j].touched {
+			return t.emit(dstLeaf, j, now)
+		}
+	}
+	return 0, 0, false
+}
+
+// HasChanged reports whether any metric observed from srcLeaf has changed
+// since it was last fed back — i.e. whether feedback toward that leaf is
+// worth sending explicitly when no reverse traffic exists.
+func (t *CongestionFromLeaf) HasChanged(srcLeaf int) bool {
+	row := t.metrics[srcLeaf]
+	for j, ch := range t.changed[srcLeaf] {
+		if ch && row[j].touched {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *CongestionFromLeaf) emit(leaf, j int, now sim.Time) (uint8, uint8, bool) {
+	t.rr[leaf] = (j + 1) % len(t.metrics[leaf])
+	t.changed[leaf][j] = false
+	return uint8(j), t.metrics[leaf][j].get(now, t.ageOut), true
+}

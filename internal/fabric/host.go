@@ -1,0 +1,70 @@
+package fabric
+
+import (
+	"fmt"
+
+	"conga/internal/sim"
+)
+
+// Host is an end system: one access link up to its leaf, and a demux table
+// delivering arriving packets to bound transport endpoints by destination
+// port. Transports (internal/tcp, internal/mptcp) attach to hosts.
+type Host struct {
+	ID   int
+	Leaf int // leaf switch this host attaches to
+
+	out       *Link // host → leaf
+	recv      map[int]Receiver
+	nextPort  int
+	RxPackets uint64
+	RxBytes   uint64
+}
+
+func newHost(id, leaf int) *Host {
+	return &Host{ID: id, Leaf: leaf, recv: make(map[int]Receiver), nextPort: 10000}
+}
+
+// Bind registers r to receive packets addressed to port. It panics if the
+// port is taken — two endpoints on one port is always a harness bug.
+func (h *Host) Bind(port int, r Receiver) {
+	if _, ok := h.recv[port]; ok {
+		panic(fmt.Sprintf("fabric: host %d port %d already bound", h.ID, port))
+	}
+	h.recv[port] = r
+}
+
+// Unbind releases a port.
+func (h *Host) Unbind(port int) { delete(h.recv, port) }
+
+// AllocPort returns a fresh unused local port.
+func (h *Host) AllocPort() int {
+	for {
+		p := h.nextPort
+		h.nextPort++
+		if _, taken := h.recv[p]; !taken {
+			return p
+		}
+	}
+}
+
+// Send transmits p on the host's access link. The caller must have filled
+// the addressing fields.
+func (h *Host) Send(p *Packet, now sim.Time) {
+	p.SrcHost = h.ID
+	h.out.Send(p, now)
+}
+
+// AccessLink returns the host's uplink to its leaf, for counters and fault
+// injection.
+func (h *Host) AccessLink() *Link { return h.out }
+
+// handle implements node: packets arriving from the leaf are demuxed to the
+// bound receiver. Packets to unbound ports are dropped silently, like a
+// host RST-ing unknown traffic; a counter records them for debugging.
+func (h *Host) handle(p *Packet, _ *Link, now sim.Time) {
+	h.RxPackets++
+	h.RxBytes += uint64(p.WireSize())
+	if r, ok := h.recv[p.DstPort]; ok {
+		r.Receive(p, now)
+	}
+}

@@ -1,0 +1,140 @@
+package fabric
+
+import (
+	"conga/internal/core"
+	"conga/internal/sim"
+)
+
+// LeafSwitch is a top-of-rack switch and overlay tunnel endpoint (TEP). On
+// the way up it encapsulates host packets, runs the load-balancing strategy
+// to pick an uplink, and stamps the CONGA header; on the way down it hands
+// the header to the strategy (feedback + CE observation) and decapsulates.
+// Local (intra-rack) traffic never enters the fabric, as in the paper's
+// overlay.
+type LeafSwitch struct {
+	ID  int
+	net *Network
+
+	uplinks     []*Link // index = LBTag
+	uplinkSpine []int   // spine ID per uplink
+	downlinks   []*Link // per local host, indexed by position under this leaf
+	hostIndex   map[int]int
+
+	strategy  Strategy
+	vni       uint32
+	usableBuf []bool
+
+	// NoRouteDrops counts packets dropped because no uplink was usable.
+	NoRouteDrops uint64
+	// UpPackets / DownPackets count fabric-bound and fabric-received
+	// packets, for sanity checks in tests.
+	UpPackets, DownPackets uint64
+}
+
+// Strategy returns the leaf's load-balancing strategy.
+func (ls *LeafSwitch) Strategy() Strategy { return ls.strategy }
+
+// Uplinks returns the leaf's uplinks; index i is LBTag i.
+func (ls *LeafSwitch) Uplinks() []*Link { return ls.uplinks }
+
+// UplinkSpine returns the spine the given uplink attaches to.
+func (ls *LeafSwitch) UplinkSpine(uplink int) int { return ls.uplinkSpine[uplink] }
+
+// PathUsable reports, per uplink, whether a packet sent on it can reach
+// dstLeaf: the uplink itself must be up and its spine must retain at least
+// one live downlink to dstLeaf. This models routing convergence after a
+// failure — a fabric withdraws a spine from the ECMP group of leaves it
+// can no longer reach. The returned slice is reused across calls.
+func (ls *LeafSwitch) PathUsable(dstLeaf int) []bool {
+	if ls.usableBuf == nil {
+		ls.usableBuf = make([]bool, len(ls.uplinks))
+	}
+	for i, l := range ls.uplinks {
+		ok := l.Up()
+		if ok {
+			ok = false
+			for _, d := range ls.net.Spines[ls.uplinkSpine[i]].Downlinks(dstLeaf) {
+				if d.Up() {
+					ok = true
+					break
+				}
+			}
+		}
+		ls.usableBuf[i] = ok
+	}
+	return ls.usableBuf
+}
+
+// Downlink returns the link toward a local host, or nil if the host is not
+// under this leaf.
+func (ls *LeafSwitch) Downlink(host int) *Link {
+	if i, ok := ls.hostIndex[host]; ok {
+		return ls.downlinks[i]
+	}
+	return nil
+}
+
+func (ls *LeafSwitch) handle(p *Packet, from *Link, now sim.Time) {
+	if from != nil && from.fab {
+		ls.fromFabric(p, now)
+		return
+	}
+	ls.fromHost(p, now)
+}
+
+func (ls *LeafSwitch) fromHost(p *Packet, now sim.Time) {
+	dstLeaf := ls.net.HostLeaf(p.DstHost)
+	if dstLeaf == ls.ID {
+		// Intra-rack: switch locally, no overlay.
+		ls.Downlink(p.DstHost).Send(p, now)
+		return
+	}
+	up := ls.strategy.SelectUplink(p, dstLeaf, now)
+	if up < 0 {
+		ls.NoRouteDrops++
+		return
+	}
+	p.SrcLeaf = ls.ID
+	p.DstLeaf = dstLeaf
+	ls.strategy.PrepareHeader(p, dstLeaf, up, now)
+	ls.UpPackets++
+	ls.uplinks[up].Send(p, now)
+}
+
+func (ls *LeafSwitch) fromFabric(p *Packet, now sim.Time) {
+	ls.DownPackets++
+	ls.strategy.OnFabricArrival(p, p.SrcLeaf, now)
+	if p.Ctrl {
+		// Explicit feedback terminates at the TEP.
+		return
+	}
+	dl := ls.Downlink(p.DstHost)
+	if dl == nil {
+		// Misrouted packet: the spine sent us traffic for a host we do
+		// not own. Count it as a routing drop; it indicates a topology
+		// wiring bug.
+		ls.NoRouteDrops++
+		return
+	}
+	dl.Send(p, now)
+}
+
+// sendControl emits a leaf-to-leaf control packet (explicit feedback)
+// toward dstLeaf on any currently usable uplink.
+func (ls *LeafSwitch) sendControl(dstLeaf int, hdr core.Header, now sim.Time) {
+	up := hashOverMask(ls.PathUsable(dstLeaf), uint64(now)^uint64(dstLeaf)*0x9e3779b97f4a7c15)
+	if up < 0 {
+		return
+	}
+	// The control packet is itself a fabric packet: its CE observation is
+	// valid for the uplink it rides, so tag it accordingly.
+	hdr.LBTag = uint8(up)
+	p := &Packet{
+		SrcLeaf: ls.ID,
+		DstLeaf: dstLeaf,
+		Ctrl:    true,
+		Hdr:     hdr,
+		SentAt:  now,
+	}
+	ls.uplinks[up].Send(p, now)
+}

@@ -1,0 +1,189 @@
+package fabric
+
+import (
+	"fmt"
+
+	"conga/internal/core"
+	"conga/internal/sim"
+)
+
+// Link is a unidirectional link with a drop-tail output queue, a fixed
+// rate, and a propagation delay. Fabric links (leaf↔spine) additionally
+// carry a DRE and stamp the CONGA CE field of transiting packets; this is
+// the "Per-link Congestion Measurement" box of Figure 4.
+type Link struct {
+	Name string
+
+	eng   *sim.Engine
+	rate  float64 // bits per second
+	prop  sim.Time
+	dst   node
+	fab   bool // fabric link: encap overhead + DRE + CE marking
+	up    bool
+	maxQ  int // queue capacity in bytes (excluding the packet in service)
+	qhead int
+	queue []*Packet
+	qlen  int // queued bytes
+	busy  bool
+
+	dre        *core.DRE // nil on access links
+	pathMetric core.PathMetric
+
+	// Counters, exported for the stats collectors.
+	TxPackets uint64
+	TxBytes   uint64 // wire bytes actually serialized
+	Drops     uint64
+	DropBytes uint64
+}
+
+// LinkConfig parameterizes NewLink.
+type LinkConfig struct {
+	Name      string
+	RateBps   float64
+	PropDelay sim.Time
+	BufBytes  int
+	Fabric    bool // carries overlay traffic: encap overhead, DRE, CE marking
+	Params    core.Params
+}
+
+// NewLink creates a link delivering to dst. Fabric links get a DRE sized to
+// the link rate.
+func NewLink(eng *sim.Engine, cfg LinkConfig, dst node) *Link {
+	if cfg.RateBps <= 0 {
+		panic(fmt.Sprintf("fabric: link %q rate %v must be positive", cfg.Name, cfg.RateBps))
+	}
+	if cfg.BufBytes <= 0 {
+		panic(fmt.Sprintf("fabric: link %q buffer %d must be positive", cfg.Name, cfg.BufBytes))
+	}
+	l := &Link{
+		Name: cfg.Name,
+		eng:  eng,
+		rate: cfg.RateBps,
+		prop: cfg.PropDelay,
+		dst:  dst,
+		fab:  cfg.Fabric,
+		up:   true,
+		maxQ: cfg.BufBytes,
+	}
+	if cfg.Fabric {
+		l.dre = NewLinkDRE(cfg.RateBps, cfg.Params)
+		l.pathMetric = cfg.Params.PathMetric
+	}
+	return l
+}
+
+// NewLinkDRE builds the DRE for a fabric link; split out so tests can
+// construct DREs the same way the fabric does.
+func NewLinkDRE(rateBps float64, p core.Params) *core.DRE {
+	return core.NewDRE(rateBps, p)
+}
+
+// Rate returns the link rate in bits per second.
+func (l *Link) Rate() float64 { return l.rate }
+
+// Up reports whether the link is in service.
+func (l *Link) Up() bool { return l.up }
+
+// SetUp administratively raises or fails the link. Failing a link drops
+// everything queued (as pulling a cable does) and resets its DRE.
+func (l *Link) SetUp(up bool) {
+	l.up = up
+	if !up {
+		for _, p := range l.queue[l.qhead:] {
+			_ = p
+			l.Drops++
+		}
+		l.queue = l.queue[:0]
+		l.qhead = 0
+		l.qlen = 0
+		if l.dre != nil {
+			l.dre.Reset()
+		}
+	}
+}
+
+// DRE returns the link's rate estimator (nil for access links).
+func (l *Link) DRE() *core.DRE { return l.dre }
+
+// Metric returns the link's quantized congestion metric, 0 for access
+// links.
+func (l *Link) Metric() uint8 {
+	if l.dre == nil {
+		return 0
+	}
+	return l.dre.Quantized()
+}
+
+// QueuedBytes returns the bytes waiting in the queue (not counting the
+// packet in service).
+func (l *Link) QueuedBytes() int { return l.qlen }
+
+func (l *Link) wireSize(p *Packet) int {
+	if l.fab {
+		return p.FabricWireSize()
+	}
+	return p.WireSize()
+}
+
+// Send enqueues p for transmission. If the queue is full the packet is
+// dropped (drop-tail). A downed link drops everything.
+func (l *Link) Send(p *Packet, now sim.Time) {
+	if !l.up {
+		l.Drops++
+		l.DropBytes += uint64(l.wireSize(p))
+		return
+	}
+	if l.busy {
+		if l.qlen+l.wireSize(p) > l.maxQ {
+			l.Drops++
+			l.DropBytes += uint64(l.wireSize(p))
+			return
+		}
+		l.queue = append(l.queue, p)
+		l.qlen += l.wireSize(p)
+		return
+	}
+	l.transmit(p, now)
+}
+
+func (l *Link) transmit(p *Packet, now sim.Time) {
+	l.busy = true
+	size := l.wireSize(p)
+	// CONGA congestion marking (§3.3 step 2): as the packet traverses the
+	// link its CE field picks up the link's congestion metric (max or
+	// saturating sum per the configured path metric). Marking at transmit
+	// start models the ASIC updating the field as the packet leaves the
+	// port.
+	if l.fab {
+		p.Hdr.CE = core.MarkCE(l.pathMetric, p.Hdr.CE, l.dre.Quantized())
+		l.dre.Add(size)
+	}
+	serialization := sim.Time(float64(size) * 8 / l.rate * float64(sim.Second))
+	l.eng.At(now+serialization, func(txDone sim.Time) {
+		l.TxPackets++
+		l.TxBytes += uint64(size)
+		if l.up {
+			l.eng.At(txDone+l.prop, func(arr sim.Time) {
+				l.dst.handle(p, l, arr)
+			})
+		}
+		l.next(txDone)
+	})
+}
+
+func (l *Link) next(now sim.Time) {
+	l.busy = false
+	if l.qhead < len(l.queue) {
+		p := l.queue[l.qhead]
+		l.queue[l.qhead] = nil
+		l.qhead++
+		// Compact the ring once the dead prefix dominates.
+		if l.qhead > 64 && l.qhead*2 >= len(l.queue) {
+			n := copy(l.queue, l.queue[l.qhead:])
+			l.queue = l.queue[:n]
+			l.qhead = 0
+		}
+		l.qlen -= l.wireSize(p)
+		l.transmit(p, now)
+	}
+}

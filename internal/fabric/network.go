@@ -1,0 +1,342 @@
+package fabric
+
+import (
+	"fmt"
+
+	"conga/internal/core"
+	"conga/internal/sim"
+)
+
+// Config describes a Leaf-Spine fabric. Zero fields take the defaults of
+// the paper's testbed topology (Figure 7a): 2 leaves × 2 spines with 2
+// parallel 40 Gbps links each, 32 hosts per leaf on 10 Gbps access links —
+// a 2:1 oversubscription.
+type Config struct {
+	NumLeaves     int
+	NumSpines     int
+	HostsPerLeaf  int
+	LinksPerSpine int // parallel links between each leaf-spine pair (LAG)
+
+	AccessRateBps float64
+	FabricRateBps float64
+
+	AccessPropDelay sim.Time
+	FabricPropDelay sim.Time
+
+	// EdgeBufBytes bounds each leaf→host access-port queue and
+	// FabricBufBytes each fabric-port queue; both mimic the per-port
+	// share of a shared-buffer ASIC. HostBufBytes bounds the host→leaf
+	// NIC queue; it defaults large because a real sender's qdisc
+	// backpressures the stack instead of dropping its own packets.
+	EdgeBufBytes   int
+	FabricBufBytes int
+	HostBufBytes   int
+
+	// FabricLinkRate, when non-nil, overrides the rate of the parallel
+	// link k between leaf and spine (both directions). Returning 0 keeps
+	// FabricRateBps. This is how the §2.4 capacity-asymmetry scenarios
+	// (Figures 2 and 3) are modelled.
+	FabricLinkRate func(leaf, spine, k int) float64
+
+	Scheme Scheme
+	// LeafSchemes optionally overrides the scheme per leaf (incremental
+	// deployment, §7: CONGA can run on a subset of leaves and adapts to
+	// the traffic the others produce). Entries beyond the list, or in a
+	// nil list, use Scheme.
+	LeafSchemes []Scheme
+	// ExplicitFeedback makes CONGA leaves emit a small feedback-only
+	// packet toward leaves with changed metrics and no recent reverse
+	// traffic to piggyback on. The paper chose pure piggybacking (§3.3);
+	// this option exists to quantify that choice under one-way traffic.
+	ExplicitFeedback bool
+
+	Params      core.Params // zero value → core.DefaultParams (or CongaFlowParams for SchemeCONGAFlow)
+	WCMPWeights []float64   // SchemeWCMP only; per-uplink weights
+
+	Seed uint64
+	VNI  uint32
+}
+
+// WithDefaults returns cfg with unset fields filled in.
+func (cfg Config) WithDefaults() Config {
+	if cfg.NumLeaves == 0 {
+		cfg.NumLeaves = 2
+	}
+	if cfg.NumSpines == 0 {
+		cfg.NumSpines = 2
+	}
+	if cfg.HostsPerLeaf == 0 {
+		cfg.HostsPerLeaf = 32
+	}
+	if cfg.LinksPerSpine == 0 {
+		cfg.LinksPerSpine = 2
+	}
+	if cfg.AccessRateBps == 0 {
+		cfg.AccessRateBps = 10e9
+	}
+	if cfg.FabricRateBps == 0 {
+		cfg.FabricRateBps = 40e9
+	}
+	if cfg.AccessPropDelay == 0 {
+		cfg.AccessPropDelay = 2 * sim.Microsecond
+	}
+	if cfg.FabricPropDelay == 0 {
+		cfg.FabricPropDelay = sim.Microsecond
+	}
+	if cfg.EdgeBufBytes == 0 {
+		// A hot access port on a shared-buffer leaf ASIC can claim a
+		// large share of the chip's ~12 MB.
+		cfg.EdgeBufBytes = 6 << 20
+	}
+	if cfg.FabricBufBytes == 0 {
+		cfg.FabricBufBytes = 8 << 20 // 8 MB per fabric port
+	}
+	if cfg.HostBufBytes == 0 {
+		// ≈ Linux pfifo_fast (1000 × MTU) plus driver ring: senders can
+		// overrun their own NIC in slow start, and SACK recovery handles
+		// it, as on real hosts.
+		cfg.HostBufBytes = 2 << 20
+	}
+	if cfg.Params == (core.Params{}) {
+		if cfg.Scheme == SchemeCONGAFlow {
+			cfg.Params = core.CongaFlowParams()
+		} else {
+			cfg.Params = core.DefaultParams()
+		}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.VNI == 0 {
+		cfg.VNI = 1
+	}
+	return cfg
+}
+
+// Validate reports the first configuration error.
+func (cfg Config) Validate() error {
+	c := cfg.WithDefaults()
+	switch {
+	case c.NumLeaves < 2:
+		return fmt.Errorf("fabric: need at least 2 leaves, have %d", c.NumLeaves)
+	case c.NumSpines < 1:
+		return fmt.Errorf("fabric: need at least 1 spine, have %d", c.NumSpines)
+	case c.HostsPerLeaf < 1:
+		return fmt.Errorf("fabric: need at least 1 host per leaf, have %d", c.HostsPerLeaf)
+	case c.LinksPerSpine < 1:
+		return fmt.Errorf("fabric: need at least 1 link per leaf-spine pair, have %d", c.LinksPerSpine)
+	case c.NumSpines*c.LinksPerSpine > c.Params.MaxUplinks:
+		return fmt.Errorf("fabric: %d uplinks per leaf exceeds LBTag space %d",
+			c.NumSpines*c.LinksPerSpine, c.Params.MaxUplinks)
+	case len(c.LeafSchemes) > c.NumLeaves:
+		return fmt.Errorf("fabric: %d per-leaf schemes for %d leaves", len(c.LeafSchemes), c.NumLeaves)
+	}
+	for i, s := range c.LeafSchemes {
+		if _, ok := schemeNames[s]; !ok {
+			return fmt.Errorf("fabric: unknown scheme %v for leaf %d", s, i)
+		}
+	}
+	return c.Params.Validate()
+}
+
+// Network is a wired Leaf-Spine fabric attached to a simulation engine.
+type Network struct {
+	Engine *sim.Engine
+	Cfg    Config
+
+	Hosts  []*Host
+	Leaves []*LeafSwitch
+	Spines []*SpineSwitch
+
+	fabricLinks []*Link
+	rng         *sim.Rand
+}
+
+// NewNetwork builds the fabric described by cfg on the given engine and
+// starts the DRE decay and flowlet sweep tickers.
+func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.WithDefaults()
+	n := &Network{Engine: eng, Cfg: cfg, rng: sim.NewRand(cfg.Seed)}
+
+	// Hosts and leaves.
+	for leaf := 0; leaf < cfg.NumLeaves; leaf++ {
+		ls := &LeafSwitch{ID: leaf, net: n, vni: cfg.VNI, hostIndex: make(map[int]int)}
+		n.Leaves = append(n.Leaves, ls)
+		for i := 0; i < cfg.HostsPerLeaf; i++ {
+			hostID := leaf*cfg.HostsPerLeaf + i
+			h := newHost(hostID, leaf)
+			h.out = NewLink(eng, LinkConfig{
+				Name:      fmt.Sprintf("h%d->l%d", hostID, leaf),
+				RateBps:   cfg.AccessRateBps,
+				PropDelay: cfg.AccessPropDelay,
+				BufBytes:  cfg.HostBufBytes,
+				Params:    cfg.Params,
+			}, ls)
+			down := NewLink(eng, LinkConfig{
+				Name:      fmt.Sprintf("l%d->h%d", leaf, hostID),
+				RateBps:   cfg.AccessRateBps,
+				PropDelay: cfg.AccessPropDelay,
+				BufBytes:  cfg.EdgeBufBytes,
+				Params:    cfg.Params,
+			}, h)
+			ls.hostIndex[hostID] = len(ls.downlinks)
+			ls.downlinks = append(ls.downlinks, down)
+			n.Hosts = append(n.Hosts, h)
+		}
+	}
+
+	// Spines and fabric links.
+	for s := 0; s < cfg.NumSpines; s++ {
+		ss := &SpineSwitch{ID: s, down: make([][]*Link, cfg.NumLeaves)}
+		n.Spines = append(n.Spines, ss)
+	}
+	for leaf := 0; leaf < cfg.NumLeaves; leaf++ {
+		ls := n.Leaves[leaf]
+		for s := 0; s < cfg.NumSpines; s++ {
+			ss := n.Spines[s]
+			for k := 0; k < cfg.LinksPerSpine; k++ {
+				rate := cfg.FabricRateBps
+				if cfg.FabricLinkRate != nil {
+					if r := cfg.FabricLinkRate(leaf, s, k); r > 0 {
+						rate = r
+					}
+				}
+				up := NewLink(eng, LinkConfig{
+					Name:      fmt.Sprintf("l%d->s%d.%d", leaf, s, k),
+					RateBps:   rate,
+					PropDelay: cfg.FabricPropDelay,
+					BufBytes:  cfg.FabricBufBytes,
+					Fabric:    true,
+					Params:    cfg.Params,
+				}, ss)
+				down := NewLink(eng, LinkConfig{
+					Name:      fmt.Sprintf("s%d.%d->l%d", s, k, leaf),
+					RateBps:   rate,
+					PropDelay: cfg.FabricPropDelay,
+					BufBytes:  cfg.FabricBufBytes,
+					Fabric:    true,
+					Params:    cfg.Params,
+				}, ls)
+				ls.uplinks = append(ls.uplinks, up)
+				ls.uplinkSpine = append(ls.uplinkSpine, s)
+				ss.down[leaf] = append(ss.down[leaf], down)
+				n.fabricLinks = append(n.fabricLinks, up, down)
+			}
+		}
+	}
+
+	// Strategies (need uplinks wired first).
+	for _, ls := range n.Leaves {
+		ls.strategy = n.newStrategy(ls)
+	}
+
+	// DRE decay: one ticker drives every fabric link's estimator.
+	sim.NewTicker(eng, cfg.Params.TDRE, func(sim.Time) {
+		for _, l := range n.fabricLinks {
+			l.dre.Decay()
+		}
+	})
+	// Flowlet age sweep per leaf, every Tfl.
+	sim.NewTicker(eng, cfg.Params.Tfl, func(now sim.Time) {
+		for _, ls := range n.Leaves {
+			ls.strategy.Tick(now)
+		}
+	})
+	return n, nil
+}
+
+// MustNetwork is NewNetwork for tests and examples where a config error is
+// a programming bug.
+func MustNetwork(eng *sim.Engine, cfg Config) *Network {
+	n, err := NewNetwork(eng, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (n *Network) newStrategy(ls *LeafSwitch) Strategy {
+	rng := n.rng.Split()
+	scheme := n.Cfg.Scheme
+	if ls.ID < len(n.Cfg.LeafSchemes) {
+		scheme = n.Cfg.LeafSchemes[ls.ID]
+	}
+	switch scheme {
+	case SchemeECMP:
+		return &ecmpStrategy{ls: ls}
+	case SchemeCONGA:
+		return newCongaStrategy(ls, "conga", n.Cfg.Params, rng, n.Cfg.ExplicitFeedback)
+	case SchemeCONGAFlow:
+		return newCongaStrategy(ls, "conga-flow", n.Cfg.Params, rng, n.Cfg.ExplicitFeedback)
+	case SchemeLocal:
+		return newLocalStrategy(ls, n.Cfg.Params, rng)
+	case SchemeSpray:
+		return &sprayStrategy{ls: ls}
+	case SchemeWCMP:
+		return newWCMPStrategy(ls, n.Cfg.WCMPWeights)
+	default:
+		panic(fmt.Sprintf("fabric: unknown scheme %v", n.Cfg.Scheme))
+	}
+}
+
+// NumLeaves returns the leaf count.
+func (n *Network) NumLeaves() int { return len(n.Leaves) }
+
+// HostLeaf returns the leaf a host attaches to.
+func (n *Network) HostLeaf(host int) int { return n.Hosts[host].Leaf }
+
+// Host returns host i.
+func (n *Network) Host(i int) *Host { return n.Hosts[i] }
+
+// FabricLinks returns every leaf↔spine link, for stats collection.
+func (n *Network) FabricLinks() []*Link { return n.fabricLinks }
+
+// FailLink takes down both directions of parallel link k between leaf and
+// spine, like unplugging a cable. It panics on out-of-range arguments — a
+// mis-specified failure would silently invalidate an experiment.
+func (n *Network) FailLink(leaf, spine, k int) {
+	up, down := n.linkPair(leaf, spine, k)
+	up.SetUp(false)
+	down.SetUp(false)
+}
+
+// RestoreLink re-enables both directions of the given link.
+func (n *Network) RestoreLink(leaf, spine, k int) {
+	up, down := n.linkPair(leaf, spine, k)
+	up.SetUp(true)
+	down.SetUp(true)
+}
+
+func (n *Network) linkPair(leaf, spine, k int) (up, down *Link) {
+	if leaf < 0 || leaf >= len(n.Leaves) || spine < 0 || spine >= len(n.Spines) ||
+		k < 0 || k >= n.Cfg.LinksPerSpine {
+		panic(fmt.Sprintf("fabric: no link (leaf=%d, spine=%d, k=%d)", leaf, spine, k))
+	}
+	uplinkIdx := spine*n.Cfg.LinksPerSpine + k
+	return n.Leaves[leaf].uplinks[uplinkIdx], n.Spines[spine].down[leaf][k]
+}
+
+// TotalDrops sums packet drops over every link in the fabric, including
+// access links.
+func (n *Network) TotalDrops() uint64 {
+	var d uint64
+	for _, l := range n.fabricLinks {
+		d += l.Drops
+	}
+	for _, h := range n.Hosts {
+		d += h.out.Drops
+	}
+	for _, ls := range n.Leaves {
+		for _, l := range ls.downlinks {
+			d += l.Drops
+		}
+		d += ls.NoRouteDrops
+	}
+	for _, ss := range n.Spines {
+		d += ss.NoRouteDrops
+	}
+	return d
+}

@@ -1,0 +1,88 @@
+// Package fabric is a packet-level discrete-event model of a datacenter
+// Leaf-Spine fabric: hosts, access and fabric links with drop-tail queues,
+// leaf switches running a pluggable load-balancing strategy (ECMP, CONGA,
+// CONGA-Flow, local congestion-aware, packet spraying, weighted random),
+// and spine switches with per-link DREs and CONGA congestion marking.
+//
+// It substitutes for the paper's hardware testbed and OMNET++ simulator:
+// store-and-forward switching, serialization and propagation delay, finite
+// buffers, link failures, and the VXLAN-style overlay between leaf TEPs are
+// all modelled; the CONGA algorithm itself lives in internal/core and is
+// driven by this package exactly as the ASIC pipeline drives the CONGA
+// block.
+package fabric
+
+import (
+	"conga/internal/core"
+	"conga/internal/sim"
+)
+
+// Wire overheads, in bytes. Packets carry their transport payload length;
+// links compute wire size from it.
+const (
+	// HeaderOverhead is Ethernet (18, incl. preamble-less frame with FCS)
+	// + IPv4 (20) + TCP (20).
+	HeaderOverhead = 58
+	// MinFrame is the minimum Ethernet frame size; pure ACKs pad to it.
+	MinFrame = 64
+)
+
+// Packet is the simulated unit of transfer. One struct serves both data and
+// ACK segments; transports interpret the sequence fields.
+type Packet struct {
+	// Flow identity. FlowID is unique per (sub)flow and is what ECMP and
+	// the flowlet table hash.
+	FlowID  uint64
+	SrcHost int
+	DstHost int
+	SrcPort int
+	DstPort int
+
+	// Transport state.
+	Seq     int64 // first payload byte's offset
+	Payload int   // payload bytes carried (0 for pure ACKs)
+	IsAck   bool
+	AckNo   int64 // cumulative ACK (valid when IsAck)
+	// Sack carries up to three selective-acknowledgement ranges
+	// [start, end) above AckNo, mirroring the TCP SACK option's 3-block
+	// limit when a timestamp option is present.
+	Sack [][2]int64
+	// EchoTS carries the send timestamp for RTT measurement, echoing the
+	// data packet's SentAt in the ACK.
+	EchoTS sim.Time
+
+	// Overlay state, valid while the packet is inside the fabric.
+	Hdr     core.Header
+	SrcLeaf int
+	DstLeaf int
+	// Ctrl marks a leaf-to-leaf control packet (explicit CONGA feedback):
+	// it terminates at the destination TEP instead of a host.
+	Ctrl bool
+
+	// Measurement.
+	SentAt sim.Time
+}
+
+// WireSize returns the packet's size on an access link in bytes.
+func (p *Packet) WireSize() int {
+	s := p.Payload + HeaderOverhead
+	if s < MinFrame {
+		s = MinFrame
+	}
+	return s
+}
+
+// FabricWireSize returns the packet's size on a fabric link, where it
+// additionally carries the VXLAN/CONGA encapsulation.
+func (p *Packet) FabricWireSize() int { return p.WireSize() + core.EncapOverhead }
+
+// Receiver consumes packets delivered to a host port. Transport endpoints
+// implement it.
+type Receiver interface {
+	Receive(p *Packet, now sim.Time)
+}
+
+// node is anything a link can deliver packets to: a switch or a host.
+type node interface {
+	handle(p *Packet, from *Link, now sim.Time)
+}

@@ -1,0 +1,32 @@
+package fabric
+
+import "conga/internal/sim"
+
+// SpineSwitch forwards fabric packets to their destination leaf using the
+// outer (overlay) header only. When several parallel links lead to the same
+// leaf (link aggregation), it picks one by hashing the flow, exactly as the
+// paper's footnote 3 describes ("the spine switches pick one using standard
+// ECMP hashing"). Each spine downlink carries a DRE, and transiting packets
+// pick up its congestion metric in their CE field (done in Link).
+type SpineSwitch struct {
+	ID int
+
+	// down[leaf] lists the parallel links toward that leaf.
+	down [][]*Link
+
+	// NoRouteDrops counts packets with no surviving link to their leaf.
+	NoRouteDrops uint64
+}
+
+// Downlinks returns the parallel links toward leaf.
+func (ss *SpineSwitch) Downlinks(leaf int) []*Link { return ss.down[leaf] }
+
+func (ss *SpineSwitch) handle(p *Packet, _ *Link, now sim.Time) {
+	links := ss.down[p.DstLeaf]
+	idx := hashOverUp(links, flowHash(p))
+	if idx < 0 {
+		ss.NoRouteDrops++
+		return
+	}
+	links[idx].Send(p, now)
+}

@@ -1,0 +1,294 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize    c·x
+//	subject to  A[i]·x (≤ or =) b[i]   for each row i
+//	            x ≥ 0
+//
+// It exists to compute the optimal (coordinated) routing in the bottleneck
+// routing game of §6.1 — minimizing the maximum link utilization over all
+// feasible traffic splits — against which the Nash flows reached by
+// CONGA-style selfish routing are compared (the Price of Anarchy).
+//
+// The implementation is a classic tableau simplex with Bland's rule, which
+// guarantees termination at the cost of speed; the anarchy instances are
+// tiny (hundreds of variables), so robustness wins.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Common solver failures.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Problem is one linear program.
+type Problem struct {
+	// C is the objective (maximized).
+	C []float64
+	// A and B give the constraint rows.
+	A [][]float64
+	B []float64
+	// Eq[i] marks row i as an equality; false means ≤.
+	Eq []bool
+}
+
+// Validate reports structural errors.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("lp: empty objective")
+	}
+	if len(p.A) != len(p.B) || len(p.A) != len(p.Eq) {
+		return fmt.Errorf("lp: A/B/Eq sizes disagree: %d/%d/%d", len(p.A), len(p.B), len(p.Eq))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("lp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// Solve returns an optimal x and the objective value.
+func Solve(p *Problem) ([]float64, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Canonicalize: make every b non-negative.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	eq := make([]bool, m)
+	flipped := make([]bool, m)
+	for i := range p.A {
+		a[i] = append([]float64(nil), p.A[i]...)
+		b[i] = p.B[i]
+		eq[i] = p.Eq[i]
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+			flipped[i] = true
+			// ≤ with negative rhs flips to ≥, handled via surplus+artificial.
+		}
+	}
+
+	// Column layout: [x (n)] [slack/surplus] [artificial], with explicit
+	// per-row bookkeeping of which columns exist.
+	slackCol := make([]int, m) // -1 if none
+	artCol := make([]int, m)   // -1 if none
+	cols := n
+	for i := 0; i < m; i++ {
+		slackCol[i] = -1
+		artCol[i] = -1
+		switch {
+		case eq[i]:
+			artCol[i] = 0 // assigned below
+		case flipped[i]:
+			// Became ≥: surplus (−1 coefficient) + artificial.
+			slackCol[i] = 0
+			artCol[i] = 0
+		default:
+			slackCol[i] = 0
+		}
+	}
+	for i := 0; i < m; i++ {
+		if slackCol[i] == 0 {
+			slackCol[i] = cols
+			cols++
+		}
+	}
+	artStart := cols
+	for i := 0; i < m; i++ {
+		if artCol[i] == 0 {
+			artCol[i] = cols
+			cols++
+		}
+	}
+
+	// Tableau rows: m constraints; columns: cols + rhs.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, cols+1)
+		copy(t[i], a[i])
+		if s := slackCol[i]; s >= 0 {
+			if flipped[i] && !eq[i] {
+				t[i][s] = -1 // surplus
+			} else {
+				t[i][s] = 1
+			}
+		}
+		if ac := artCol[i]; ac >= 0 {
+			t[i][ac] = 1
+			basis[i] = ac
+		} else {
+			basis[i] = slackCol[i]
+		}
+		t[i][cols] = b[i]
+	}
+
+	// Phase 1: minimize Σ artificials (maximize −Σ).
+	if artStart < cols {
+		obj := make([]float64, cols+1)
+		for c := artStart; c < cols; c++ {
+			obj[c] = -1
+		}
+		// Price out artificial basics.
+		reduced := priceOut(obj, t, basis)
+		if err := iterate(t, basis, reduced, cols); err != nil {
+			return nil, 0, err
+		}
+		// reduced[cols] = −(phase-1 objective) = Σ artificial values at
+		// optimum; any residual artificial mass means no feasible point.
+		if reduced[cols] > eps {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i, bv := range basis {
+			if bv < artStart {
+				continue
+			}
+			pivoted := false
+			for c := 0; c < artStart; c++ {
+				if math.Abs(t[i][c]) > eps {
+					pivot(t, basis, i, c)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over real variables: redundant.
+				basis[i] = -1
+			}
+		}
+	}
+
+	// Phase 2: original objective over the real variables.
+	obj := make([]float64, cols+1)
+	copy(obj, p.C)
+	reduced := priceOut(obj, t, basis)
+	// Forbid artificials from re-entering.
+	for c := artStart; c < cols; c++ {
+		reduced[c] = math.Inf(-1)
+	}
+	if err := iterate(t, basis, reduced, artStart); err != nil {
+		return nil, 0, err
+	}
+
+	x := make([]float64, n)
+	for i, bv := range basis {
+		if bv >= 0 && bv < n {
+			x[bv] = t[i][cols]
+		}
+	}
+	val := 0.0
+	for j := range x {
+		val += p.C[j] * x[j]
+	}
+	return x, val, nil
+}
+
+// priceOut returns the reduced-cost row for the given objective and basis:
+// reduced[j] = obj[j] − Σ_i obj[basis[i]]·t[i][j], with the running
+// objective value in reduced[cols].
+func priceOut(obj []float64, t [][]float64, basis []int) []float64 {
+	cols := len(t[0]) - 1
+	reduced := make([]float64, cols+1)
+	copy(reduced, obj)
+	for i, bv := range basis {
+		if bv < 0 {
+			continue
+		}
+		cb := obj[bv]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= cols; j++ {
+			reduced[j] -= cb * t[i][j]
+		}
+	}
+	return reduced
+}
+
+// iterate runs simplex pivots on the tableau until optimal, considering
+// entering columns < enterLimit. Bland's rule: smallest-index entering and
+// leaving variables, which precludes cycling.
+func iterate(t [][]float64, basis []int, reduced []float64, enterLimit int) error {
+	m := len(t)
+	cols := len(t[0]) - 1
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			return fmt.Errorf("lp: iteration limit reached")
+		}
+		enter := -1
+		for c := 0; c < enterLimit; c++ {
+			if reduced[c] > eps {
+				enter = c
+				break
+			}
+		}
+		if enter < 0 {
+			return nil
+		}
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if basis[i] < 0 || t[i][enter] <= eps {
+				continue
+			}
+			ratio := t[i][cols] / t[i][enter]
+			if ratio < best-eps || (ratio < best+eps && (leave < 0 || basis[i] < basis[leave])) {
+				best = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter)
+		// Update reduced costs by the same elimination.
+		f := reduced[enter]
+		if f != 0 {
+			for j := 0; j <= cols; j++ {
+				reduced[j] -= f * t[leave][j]
+			}
+			reduced[enter] = 0
+		}
+	}
+}
+
+// pivot makes column c basic in row r.
+func pivot(t [][]float64, basis []int, r, c int) {
+	cols := len(t[0]) - 1
+	pv := t[r][c]
+	for j := 0; j <= cols; j++ {
+		t[r][j] /= pv
+	}
+	t[r][c] = 1
+	for i := range t {
+		if i == r {
+			continue
+		}
+		f := t[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= cols; j++ {
+			t[i][j] -= f * t[r][j]
+		}
+		t[i][c] = 0
+	}
+	basis[r] = c
+}

@@ -1,0 +1,192 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"conga/internal/sim"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveSimpleMax(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, z=36.
+	p := &Problem{
+		C:  []float64{3, 5},
+		A:  [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B:  []float64{4, 12, 18},
+		Eq: []bool{false, false, false},
+	}
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 36) || !approx(x[0], 2) || !approx(x[1], 6) {
+		t.Fatalf("got x=%v v=%v, want (2,6) 36", x, v)
+	}
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// max x + 2y s.t. x + y = 10, y ≤ 6 → x=4, y=6, z=16.
+	p := &Problem{
+		C:  []float64{1, 2},
+		A:  [][]float64{{1, 1}, {0, 1}},
+		B:  []float64{10, 6},
+		Eq: []bool{true, false},
+	}
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 16) || !approx(x[0], 4) || !approx(x[1], 6) {
+		t.Fatalf("got x=%v v=%v, want (4,6) 16", x, v)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// max −x s.t. −x ≤ −3 (i.e. x ≥ 3) → x=3, v=−3.
+	p := &Problem{
+		C:  []float64{-1},
+		A:  [][]float64{{-1}},
+		B:  []float64{-3},
+		Eq: []bool{false},
+	}
+	x, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 3) || !approx(v, -3) {
+		t.Fatalf("got x=%v v=%v, want x=3 v=-3", x, v)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 3.
+	p := &Problem{
+		C:  []float64{1},
+		A:  [][]float64{{1}, {-1}},
+		B:  []float64{1, -3},
+		Eq: []bool{false, false},
+	}
+	if _, _, err := Solve(p); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := &Problem{
+		C:  []float64{1, 0},
+		A:  [][]float64{{0, 1}},
+		B:  []float64{5},
+		Eq: []bool{false},
+	}
+	if _, _, err := Solve(p); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Redundant constraints around the same vertex must not cycle.
+	p := &Problem{
+		C:  []float64{1, 1},
+		A:  [][]float64{{1, 0}, {1, 0}, {0, 1}, {1, 1}},
+		B:  []float64{2, 2, 2, 4},
+		Eq: []bool{false, false, false, false},
+	}
+	_, v, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(v, 4) {
+		t.Fatalf("v=%v, want 4", v)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	bad := []*Problem{
+		{},
+		{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Eq: []bool{false}},
+		{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}, Eq: []bool{false}},
+	}
+	for i, p := range bad {
+		if _, _, err := Solve(p); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+// TestBottleneckRoutingShape solves the LP the anarchy package builds: two
+// users on a 2-leaf/2-spine fabric with one thin path must split 2:1.
+func TestBottleneckRoutingShape(t *testing.T) {
+	// Variables: f0 (user via spine0), f1 (user via spine1), B.
+	// min B ⇔ max −B, demand f0+f1 = 15, capacity f0 ≤ 10B, f1 ≤ 5B.
+	p := &Problem{
+		C: []float64{0, 0, -1},
+		A: [][]float64{
+			{1, 1, 0},
+			{1, 0, -10},
+			{0, 1, -5},
+		},
+		B:  []float64{15, 0, 0},
+		Eq: []bool{true, false, false},
+	}
+	x, _, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[2], 1) {
+		t.Fatalf("optimal bottleneck %v, want 1.0", x[2])
+	}
+	if !approx(x[0], 10) || !approx(x[1], 5) {
+		t.Fatalf("split (%v, %v), want (10, 5)", x[0], x[1])
+	}
+}
+
+// TestRandomFeasibleProblemsSatisfyConstraints fuzzes small LPs and checks
+// that any returned solution actually satisfies its constraints.
+func TestRandomFeasibleProblemsSatisfyConstraints(t *testing.T) {
+	rng := sim.NewRand(123)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := &Problem{C: make([]float64, n)}
+		for j := range p.C {
+			p.C[j] = rng.Float64()*4 - 2
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() * 3 // non-negative rows keep it bounded-ish
+			}
+			p.A = append(p.A, row)
+			p.B = append(p.B, rng.Float64()*10)
+			p.Eq = append(p.Eq, false)
+		}
+		// Ensure boundedness: add x_j ≤ 10 rows.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.A = append(p.A, row)
+			p.B = append(p.B, 10)
+			p.Eq = append(p.Eq, false)
+		}
+		x, _, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, row := range p.A {
+			lhs := 0.0
+			for j := range row {
+				lhs += row[j] * x[j]
+			}
+			if lhs > p.B[i]+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v (x=%v)", trial, i, lhs, p.B[i], x)
+			}
+		}
+		for j, v := range x {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v negative", trial, j, v)
+			}
+		}
+	}
+}

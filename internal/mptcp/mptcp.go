@@ -1,0 +1,216 @@
+// Package mptcp models Multipath TCP as evaluated in the paper (§5): each
+// connection opens N subflows (the paper follows Raiciu et al. and uses 8),
+// each with its own 5-tuple so ECMP hashes them onto different paths, and
+// couples their congestion-avoidance growth with the Linked Increases
+// Algorithm (LIA, RFC 6356). Loss recovery, RTO, and slow start are
+// inherited per-subflow from internal/tcp.
+//
+// Data is scheduled onto subflows in chunks, on demand, so faster subflows
+// carry more bytes. Like the MPTCP versions of the paper's era, there is no
+// opportunistic reinjection: a chunk claimed by a stalled subflow waits for
+// that subflow's timer — one of the behaviours behind MPTCP's Incast
+// fragility that the paper measures.
+package mptcp
+
+import (
+	"fmt"
+
+	"conga/internal/fabric"
+	"conga/internal/sim"
+	"conga/internal/tcp"
+)
+
+// Config parameterizes an MPTCP connection.
+type Config struct {
+	// Subflows is the number of subflows per connection; the paper uses 8.
+	Subflows int
+	// TCP configures every subflow.
+	TCP tcp.Config
+	// ChunkSegments is the scheduler granularity in MSS units.
+	ChunkSegments int
+}
+
+// DefaultConfig returns the paper's MPTCP setup: 8 subflows over default
+// TCP parameters.
+func DefaultConfig() Config {
+	return Config{Subflows: 8, TCP: tcp.DefaultConfig(), ChunkSegments: 4}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.Subflows < 1 {
+		return fmt.Errorf("mptcp: Subflows %d must be ≥ 1", c.Subflows)
+	}
+	if c.ChunkSegments < 1 {
+		return fmt.Errorf("mptcp: ChunkSegments %d must be ≥ 1", c.ChunkSegments)
+	}
+	return c.TCP.Validate()
+}
+
+// Connection is an MPTCP connection transferring one byte stream from a
+// source host to a destination host.
+type Connection struct {
+	eng *sim.Engine
+	cfg Config
+
+	senders   []*tcp.Sender
+	receivers []*tcp.Receiver
+
+	total     int64 // bytes requested by the application
+	claimed   int64 // bytes handed to subflows
+	ackedSubs int64 // bytes acked across subflows
+
+	// OnComplete fires when every queued byte has been acknowledged.
+	OnComplete func(now sim.Time)
+
+	Started sim.Time
+	closed  bool
+}
+
+// Dial creates an MPTCP connection from src to dst. flowIDBase seeds the
+// subflow flow IDs (flowIDBase+i); keep bases Subflows apart.
+func Dial(eng *sim.Engine, src, dst *fabric.Host, flowIDBase uint64, cfg Config) *Connection {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Connection{eng: eng, cfg: cfg, Started: eng.Now()}
+	for i := 0; i < cfg.Subflows; i++ {
+		port := dst.AllocPort()
+		c.receivers = append(c.receivers, tcp.NewReceiver(dst, port))
+		s := tcp.NewSender(eng, src, flowIDBase+uint64(i), dst.ID, port, cfg.TCP)
+		idx := i
+		s.CAIncrease = func(acked int) { c.liaIncrease(idx, acked) }
+		s.OnAcked = func(bytes int64, now sim.Time) { c.onSubflowAcked(idx, bytes, now) }
+		c.senders = append(c.senders, s)
+	}
+	return c
+}
+
+// Close tears down all subflows.
+func (c *Connection) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, s := range c.senders {
+		s.Close()
+	}
+	for _, r := range c.receivers {
+		r.Close()
+	}
+}
+
+// Subflows returns the subflow senders, for inspection in tests and stats.
+func (c *Connection) Subflows() []*tcp.Sender { return c.senders }
+
+// Acked returns the total bytes acknowledged across subflows.
+func (c *Connection) Acked() int64 { return c.ackedSubs }
+
+// Transfer queues n more bytes onto the connection.
+func (c *Connection) Transfer(n int64, now sim.Time) {
+	if n <= 0 {
+		panic(fmt.Sprintf("mptcp: Transfer(%d)", n))
+	}
+	c.total += n
+	// Prime every subflow with an initial chunk; later chunks are claimed
+	// as ACKs open windows.
+	for i := range c.senders {
+		c.refill(i, now)
+	}
+}
+
+func (c *Connection) chunk() int64 {
+	return int64(c.cfg.ChunkSegments * c.cfg.TCP.MSS)
+}
+
+// refill hands subflow i more data if it is running dry and unclaimed bytes
+// remain. "Running dry" means its queued-unsent backlog is below one chunk:
+// enough to keep the pipe busy without stranding large amounts of data on a
+// subflow that later stalls.
+func (c *Connection) refill(i int, now sim.Time) {
+	s := c.senders[i]
+	if c.claimed >= c.total || s.QueuedUnsent() >= c.chunk() {
+		return
+	}
+	n := c.chunk()
+	if rem := c.total - c.claimed; rem < n {
+		n = rem
+	}
+	c.claimed += n
+	s.Queue(n, now)
+}
+
+func (c *Connection) onSubflowAcked(i int, bytes int64, now sim.Time) {
+	c.ackedSubs += bytes
+	c.refill(i, now)
+	if c.ackedSubs >= c.total && c.claimed >= c.total && c.OnComplete != nil {
+		c.OnComplete(now)
+	}
+}
+
+// liaIncrease implements RFC 6356's coupled increase for subflow i: per
+// ACK, w_i grows by min(α·acked·MSS/Σw, acked·MSS/w_i), where
+//
+//	α = Σw · max_j(w_j/rtt_j²) / (Σ_j w_j/rtt_j)².
+//
+// α makes the aggregate no more aggressive than one TCP on the best path;
+// the min() caps a subflow at its standalone Reno growth.
+func (c *Connection) liaIncrease(i int, acked int) {
+	s := c.senders[i]
+	mss := float64(c.cfg.TCP.MSS)
+
+	var totalW, denom, maxTerm float64
+	for _, sf := range c.senders {
+		w := sf.Cwnd()
+		rtt := sf.SRTT().Seconds()
+		if rtt <= 0 {
+			// No sample yet: this subflow has not carried traffic, so
+			// it contributes (almost) nothing to the aggregate.
+			rtt = 1.0 // 1 s sentinel keeps its weight negligible
+		}
+		totalW += w
+		denom += w / rtt
+		if term := w / (rtt * rtt); term > maxTerm {
+			maxTerm = term
+		}
+	}
+	if totalW <= 0 || denom <= 0 {
+		s.AddCwnd(mss * mss / s.Cwnd())
+		return
+	}
+	alpha := totalW * maxTerm / (denom * denom)
+	coupled := alpha * float64(acked) * mss / totalW
+	solo := float64(acked) * mss / s.Cwnd()
+	if coupled > solo {
+		coupled = solo
+	}
+	s.AddCwnd(coupled)
+}
+
+// Flow mirrors tcp.StartFlow for MPTCP: transfer size bytes and report the
+// completion time.
+type Flow struct {
+	Conn    *Connection
+	Size    int64
+	Started sim.Time
+}
+
+// StartFlow begins an MPTCP transfer of size bytes from src to dst.
+func StartFlow(eng *sim.Engine, src, dst *fabric.Host, flowIDBase uint64, size int64,
+	cfg Config, onDone func(f *Flow, now sim.Time)) *Flow {
+	if size <= 0 {
+		size = 1
+	}
+	f := &Flow{Conn: Dial(eng, src, dst, flowIDBase, cfg), Size: size, Started: eng.Now()}
+	f.Conn.OnComplete = func(now sim.Time) {
+		f.Conn.Close()
+		if onDone != nil {
+			onDone(f, now)
+		}
+	}
+	f.Conn.Transfer(size, eng.Now())
+	return f
+}
+
+// FCT returns the flow completion time given the completion timestamp.
+func (f *Flow) FCT(done sim.Time) sim.Time { return done - f.Started }

@@ -1,0 +1,258 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps virtual time as int64 nanoseconds and executes events in
+// (time, insertion-order) order, so two runs with the same seed and the same
+// sequence of schedule calls produce identical results. All CONGA fabric,
+// transport, and workload models in this repository are built on top of it.
+//
+// The engine is intentionally single-threaded: datacenter fabric experiments
+// are run one engine per goroutine, and parallelism is obtained by running
+// independent experiments concurrently.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations expressed in engine ticks (nanoseconds).
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. Running an engine until
+// MaxTime effectively means "until the event queue drains".
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a standard library duration to engine ticks.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds converts virtual time to floating-point seconds, which is
+// convenient when reporting rates and completion times.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with the standard library's duration formatting.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are one-shot; recurring behaviour is
+// built by rescheduling from within the callback (see Ticker).
+type Event func(now Time)
+
+type scheduledEvent struct {
+	at     Time
+	seq    uint64 // insertion order; breaks ties deterministically
+	fn     Event
+	eng    *Engine
+	dead   bool // cancelled
+	daemon bool // housekeeping; does not keep Run(MaxTime) alive
+	idx    int  // heap index, maintained by eventQueue
+}
+
+// EventHandle identifies a scheduled event so it can be cancelled.
+// The zero value is not a valid handle.
+type EventHandle struct {
+	ev *scheduledEvent
+}
+
+// Cancel prevents the event from running. Cancelling an already-executed or
+// already-cancelled event is a no-op. It reports whether the event was still
+// pending.
+func (h EventHandle) Cancel() bool {
+	if h.ev == nil || h.ev.dead {
+		return false
+	}
+	h.ev.dead = true
+	h.ev.fn = nil
+	if !h.ev.daemon && h.ev.eng != nil {
+		h.ev.eng.live--
+	}
+	return true
+}
+
+// Pending reports whether the event is still scheduled to run.
+func (h EventHandle) Pending() bool { return h.ev != nil && !h.ev.dead && h.ev.idx >= 0 }
+
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*scheduledEvent)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use; New
+// is provided for symmetry with the rest of the repository.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	live    int // pending non-daemon events
+	// executed counts events that have run, for diagnostics and tests.
+	executed uint64
+	stopped  bool
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events that have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled events that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a model bug, and silently reordering time would corrupt every
+// downstream measurement.
+func (e *Engine) At(t Time, fn Event) EventHandle {
+	return e.schedule(t, fn, false)
+}
+
+// AtDaemon schedules a housekeeping event: it runs like any other, but
+// pending daemon events alone do not keep Run(MaxTime) alive. Periodic
+// infrastructure (DRE decay, flowlet sweeps) uses daemon events so "run
+// until the workload finishes" terminates.
+func (e *Engine) AtDaemon(t Time, fn Event) EventHandle {
+	return e.schedule(t, fn, true)
+}
+
+func (e *Engine) schedule(t Time, fn Event, daemon bool) EventHandle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &scheduledEvent{at: t, seq: e.nextSeq, fn: fn, eng: e, daemon: daemon}
+	e.nextSeq++
+	if !daemon {
+		e.live++
+	}
+	heap.Push(&e.queue, ev)
+	return EventHandle{ev: ev}
+}
+
+// After schedules fn to run d ticks from now.
+func (e *Engine) After(d Time, fn Event) EventHandle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty, the until time is
+// reached, or Stop is called. Events scheduled exactly at until still run
+// (the interval is closed), which makes "run until end of measurement
+// window" natural to express. It returns the time of the last executed event
+// or until, whichever is smaller.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		// With no live (non-daemon) work left, an unbounded run is done:
+		// only periodic housekeeping remains and it would tick forever.
+		if until == MaxTime && e.live == 0 {
+			break
+		}
+		next := e.queue[0]
+		if next.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		fn := next.fn
+		next.fn = nil
+		next.dead = true
+		if !next.daemon {
+			e.live--
+		}
+		e.executed++
+		fn(e.now)
+	}
+	// When the queue drains before until, advance the clock to until so
+	// callers can express "idle until the end of the window" — except for
+	// MaxTime, which means "run to completion" and should leave the clock at
+	// the last event.
+	if e.now < until && until != MaxTime && len(e.queue) == 0 {
+		e.now = until
+	}
+	return e.now
+}
+
+// Ticker invokes fn every period until cancelled. It is the building block
+// for the DRE decay timer and the flowlet age sweep.
+type Ticker struct {
+	engine *Engine
+	period Time
+	fn     Event
+	handle EventHandle
+	done   bool
+}
+
+// NewTicker schedules fn to run every period, with the first invocation one
+// full period from now. A non-positive period panics.
+func NewTicker(e *Engine, period Time, fn Event) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.handle = e.AtDaemon(e.now+period, t.tick)
+	return t
+}
+
+func (t *Ticker) tick(now Time) {
+	if t.done {
+		return
+	}
+	t.fn(now)
+	if !t.done { // fn may have stopped the ticker
+		t.handle = t.engine.AtDaemon(now+t.period, t.tick)
+	}
+}
+
+// Stop cancels future invocations.
+func (t *Ticker) Stop() {
+	t.done = true
+	t.handle.Cancel()
+}

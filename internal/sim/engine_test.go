@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func(Time) { order = append(order, 3) })
+	e.At(10, func(Time) { order = append(order, 1) })
+	e.At(20, func(Time) { order = append(order, 2) })
+	e.Run(MaxTime)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+}
+
+func TestEngineTieBreaksByInsertionOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(42, func(Time) { order = append(order, i) })
+	}
+	e.Run(MaxTime)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered at index %d: got %d", i, v)
+		}
+	}
+}
+
+func TestEngineClockAdvancesToEventTime(t *testing.T) {
+	e := New()
+	var seen Time
+	e.At(5*Microsecond, func(now Time) { seen = now })
+	e.Run(MaxTime)
+	if seen != 5*Microsecond {
+		t.Fatalf("callback saw now=%v, want 5µs", seen)
+	}
+	if e.Now() != 5*Microsecond {
+		t.Fatalf("engine clock %v, want 5µs", e.Now())
+	}
+}
+
+func TestEngineRunUntilIsInclusive(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(100, func(Time) { ran++ })
+	e.At(101, func(Time) { ran++ })
+	e.Run(100)
+	if ran != 1 {
+		t.Fatalf("ran %d events, want exactly the one at t=100", ran)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock %v, want 100", e.Now())
+	}
+}
+
+func TestEngineRunAdvancesClockWhenQueueEmpty(t *testing.T) {
+	e := New()
+	e.Run(7 * Millisecond)
+	if e.Now() != 7*Millisecond {
+		t.Fatalf("clock %v, want 7ms", e.Now())
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var at Time
+	e.At(10, func(Time) {
+		e.After(25, func(now Time) { at = now })
+	})
+	e.Run(MaxTime)
+	if at != 35 {
+		t.Fatalf("relative event at %v, want 35", at)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(100, func(Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func(Time) {})
+	})
+	e.Run(MaxTime)
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func(Time) {})
+}
+
+func TestEventHandleCancel(t *testing.T) {
+	e := New()
+	ran := false
+	h := e.At(10, func(Time) { ran = true })
+	if !h.Pending() {
+		t.Fatal("handle should be pending before run")
+	}
+	if !h.Cancel() {
+		t.Fatal("first cancel should report true")
+	}
+	if h.Cancel() {
+		t.Fatal("second cancel should report false")
+	}
+	e.Run(MaxTime)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestEventHandleCancelAfterRunIsNoop(t *testing.T) {
+	e := New()
+	h := e.At(10, func(Time) {})
+	e.Run(MaxTime)
+	if h.Cancel() {
+		t.Fatal("cancelling an executed event should report false")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(10, func(Time) { ran++; e.Stop() })
+	e.At(20, func(Time) { ran++ })
+	e.Run(MaxTime)
+	if ran != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", ran)
+	}
+	// Run can resume afterwards.
+	e.Run(MaxTime)
+	if ran != 2 {
+		t.Fatalf("ran %d events after resume, want 2", ran)
+	}
+}
+
+func TestEngineExecutedCount(t *testing.T) {
+	e := New()
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func(Time) {})
+	}
+	e.Run(MaxTime)
+	if e.Executed() != 10 {
+		t.Fatalf("executed %d, want 10", e.Executed())
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	e := New()
+	var fires []Time
+	NewTicker(e, 10*Microsecond, func(now Time) { fires = append(fires, now) })
+	e.Run(35 * Microsecond)
+	want := []Time{10 * Microsecond, 20 * Microsecond, 30 * Microsecond}
+	if len(fires) != len(want) {
+		t.Fatalf("fired %d times, want %d (%v)", len(fires), len(want), fires)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fire %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := New()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, 10, func(Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run(1000) // bounded: tickers are daemon events and don't keep MaxTime runs alive
+
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after Stop at 3, want 3", count)
+	}
+}
+
+func TestTickerNonPositivePeriodPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	NewTicker(e, 0, func(Time) {})
+}
+
+func TestDurationConversion(t *testing.T) {
+	if Duration(time.Millisecond) != Millisecond {
+		t.Fatalf("Duration(1ms) = %v", Duration(time.Millisecond))
+	}
+	if got := (2500 * Microsecond).Seconds(); got != 0.0025 {
+		t.Fatalf("Seconds() = %v, want 0.0025", got)
+	}
+}
+
+func TestEngineManyEventsDrainCompletely(t *testing.T) {
+	e := New()
+	const n = 10000
+	r := NewRand(1)
+	ran := 0
+	for i := 0; i < n; i++ {
+		e.At(Time(r.Intn(1000)), func(Time) { ran++ })
+	}
+	e.Run(MaxTime)
+	if ran != n {
+		t.Fatalf("ran %d, want %d", ran, n)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending", e.Pending())
+	}
+}
+
+func TestRunMaxTimeStopsWhenOnlyDaemonsRemain(t *testing.T) {
+	e := New()
+	ticks := 0
+	NewTicker(e, 10, func(Time) { ticks++ })
+	done := false
+	e.At(35, func(Time) { done = true })
+	e.Run(MaxTime)
+	if !done {
+		t.Fatal("live event did not run")
+	}
+	// Ticker fired at 10, 20, 30 alongside the live event; after t=35 no
+	// live work remains so the run must terminate.
+	if ticks != 3 {
+		t.Fatalf("ticker fired %d times, want 3", ticks)
+	}
+	if e.Now() != 35 {
+		t.Fatalf("clock %v, want 35", e.Now())
+	}
+}
+
+func TestCancelLiveEventAllowsMaxTimeRunToEnd(t *testing.T) {
+	e := New()
+	NewTicker(e, 10, func(Time) {})
+	h := e.At(1000, func(Time) {})
+	h.Cancel()
+	e.Run(MaxTime) // must not hang: the only live event was cancelled
+	if e.Executed() != 0 {
+		t.Fatalf("executed %d events, want 0", e.Executed())
+	}
+}

@@ -1,0 +1,250 @@
+// Package stats collects and summarizes the measurements the paper
+// reports: flow completion times by size bucket (Figures 9–11),
+// throughput-imbalance CDFs over 10 ms windows (Figure 12), and queue
+// occupancy CDFs (Figures 11c and 16).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"conga/internal/fabric"
+	"conga/internal/sim"
+)
+
+// Sample is an online collection of float64 observations with quantile
+// support. The zero value is ready to use.
+type Sample struct {
+	values []float64
+	sorted bool
+	sum    float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+	s.sum += v
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the average (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	idx := int(q*float64(len(s.values))) - 0
+	if q >= 1 {
+		idx = len(s.values) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.values) {
+		idx = len(s.values) - 1
+	}
+	return s.values[idx]
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[len(s.values)-1]
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[0]
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// CDF returns (value, cumulative fraction) pairs at each distinct
+// observation, suitable for plotting against the paper's CDF figures.
+func (s *Sample) CDF() [][2]float64 {
+	if len(s.values) == 0 {
+		return nil
+	}
+	s.sort()
+	out := make([][2]float64, 0, len(s.values))
+	n := float64(len(s.values))
+	for i, v := range s.values {
+		if i+1 < len(s.values) && s.values[i+1] == v {
+			continue
+		}
+		out = append(out, [2]float64{v, float64(i+1) / n})
+	}
+	return out
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// FCT size buckets follow §5.2: small < 100 KB, large > 10 MB.
+const (
+	SmallFlowMax = 100 << 10
+	LargeFlowMin = 10 << 20
+)
+
+// FCTRecorder accumulates flow completion times overall and by size bucket.
+// FCTs are recorded both raw (seconds) and normalized to the optimal FCT an
+// idle network would give the flow, the metric of Figures 9a/10a/11.
+type FCTRecorder struct {
+	Overall, OverallNorm Sample
+	Small, SmallNorm     Sample
+	Large, LargeNorm     Sample
+	Bytes                int64
+	Flows                int
+	// OptimalSum accumulates the per-flow optimal FCTs so callers can
+	// report the outlier-robust ratio-of-means mean(FCT)/mean(optimal)
+	// alongside the per-flow-normalized mean.
+	OptimalSum float64
+}
+
+// NormOfMeans returns mean(FCT)/mean(optimal), the headline normalization
+// of Figures 9a/10a/11.
+func (r *FCTRecorder) NormOfMeans() float64 {
+	if r.OptimalSum == 0 || r.Flows == 0 {
+		return 0
+	}
+	return r.Overall.Mean() / (r.OptimalSum / float64(r.Flows))
+}
+
+// Record adds a completed flow. optimal is the idle-network FCT used for
+// normalization; pass 0 to skip the normalized series.
+func (r *FCTRecorder) Record(size int64, fct, optimal sim.Time) {
+	sec := fct.Seconds()
+	r.Overall.Add(sec)
+	r.Flows++
+	r.Bytes += size
+	var norm float64
+	if optimal > 0 {
+		norm = float64(fct) / float64(optimal)
+		r.OverallNorm.Add(norm)
+		r.OptimalSum += optimal.Seconds()
+	}
+	switch {
+	case size < SmallFlowMax:
+		r.Small.Add(sec)
+		if optimal > 0 {
+			r.SmallNorm.Add(norm)
+		}
+	case size > LargeFlowMin:
+		r.Large.Add(sec)
+		if optimal > 0 {
+			r.LargeNorm.Add(norm)
+		}
+	}
+}
+
+// String summarizes the recorder for logs.
+func (r *FCTRecorder) String() string {
+	return fmt.Sprintf("flows=%d avgFCT=%.3fms normFCT=%.2f small=%.2f large=%.2f",
+		r.Flows, r.Overall.Mean()*1e3, r.OverallNorm.Mean(), r.SmallNorm.Mean(), r.LargeNorm.Mean())
+}
+
+// ImbalanceSampler measures the throughput imbalance across a set of links
+// in fixed windows: (MAX − MIN)/AVG of the byte counts per window, as in
+// Figure 12. Windows with zero traffic are skipped.
+type ImbalanceSampler struct {
+	links  []*fabric.Link
+	prev   []uint64
+	Window sim.Time
+	Values Sample
+}
+
+// NewImbalanceSampler samples the given links every window; attach it with
+// Start.
+func NewImbalanceSampler(links []*fabric.Link, window sim.Time) *ImbalanceSampler {
+	return &ImbalanceSampler{links: links, prev: make([]uint64, len(links)), Window: window}
+}
+
+// Start begins periodic sampling on the engine.
+func (s *ImbalanceSampler) Start(eng *sim.Engine) {
+	for i, l := range s.links {
+		s.prev[i] = l.TxBytes
+	}
+	sim.NewTicker(eng, s.Window, func(sim.Time) { s.take() })
+}
+
+func (s *ImbalanceSampler) take() {
+	min, max, sum := math.MaxFloat64, 0.0, 0.0
+	for i, l := range s.links {
+		d := float64(l.TxBytes - s.prev[i])
+		s.prev[i] = l.TxBytes
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	if sum == 0 {
+		return
+	}
+	avg := sum / float64(len(s.links))
+	s.Values.Add((max - min) / avg)
+}
+
+// QueueSampler records the queued bytes of a set of links at a fixed
+// period, for the queue-occupancy CDFs of Figures 11c and 16.
+type QueueSampler struct {
+	links  []*fabric.Link
+	Period sim.Time
+	// PerLink[i] holds link i's samples; All aggregates every link.
+	PerLink []Sample
+	All     Sample
+}
+
+// NewQueueSampler prepares a sampler; attach it with Start.
+func NewQueueSampler(links []*fabric.Link, period sim.Time) *QueueSampler {
+	return &QueueSampler{links: links, Period: period, PerLink: make([]Sample, len(links))}
+}
+
+// Start begins periodic sampling on the engine.
+func (s *QueueSampler) Start(eng *sim.Engine) {
+	sim.NewTicker(eng, s.Period, func(sim.Time) {
+		for i, l := range s.links {
+			q := float64(l.QueuedBytes())
+			s.PerLink[i].Add(q)
+			s.All.Add(q)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package stochmodel implements the §6.2 stochastic analysis of randomized
+// load balancing: flows arrive as a Poisson process and are placed
+// uniformly at random on one of n links; the traffic imbalance
+//
+//	χ(t) = (max_k A_k(t) − min_k A_k(t)) / (λ·E[S]·t/n)
+//
+// measures how far the realized byte counts drift apart. Theorem 2 bounds
+// E[χ(t)] ≤ 1/√(λe·t) + O(1/t) with effective rate
+//
+//	λe = λ / (8·n·log n·(1 + CV²)),
+//
+// where CV is the coefficient of variation of the flow-size distribution —
+// the formal version of "heavy workloads are harder to balance, and
+// flowlets help by effectively multiplying the arrival rate".
+//
+// The package evaluates E[χ(t)] by Monte Carlo, both per-flow and
+// per-flowlet (each flow chopped into independent flowlet-sized pieces),
+// so the bound and the flowlet benefit can be checked against each other.
+package stochmodel
+
+import (
+	"fmt"
+	"math"
+
+	"conga/internal/sim"
+	"conga/internal/workload"
+)
+
+// Config parameterizes one imbalance evaluation.
+type Config struct {
+	// Links is n, the number of parallel links.
+	Links int
+	// Lambda is the flow arrival rate per second (across all links).
+	Lambda float64
+	// Dist draws flow sizes.
+	Dist workload.SizeDist
+	// Horizon is t, the observation window in seconds.
+	Horizon float64
+	// Runs is the number of Monte Carlo repetitions.
+	Runs int
+	// FlowletBytes, when positive, chops each flow into independently
+	// placed pieces of at most this many bytes — randomized *flowlet*
+	// load balancing instead of per-flow.
+	FlowletBytes int64
+	// Seed drives the simulation.
+	Seed uint64
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.Links < 2:
+		return fmt.Errorf("stochmodel: need ≥ 2 links, have %d", c.Links)
+	case c.Lambda <= 0:
+		return fmt.Errorf("stochmodel: Lambda %v must be positive", c.Lambda)
+	case c.Dist == nil:
+		return fmt.Errorf("stochmodel: no size distribution")
+	case c.Horizon <= 0:
+		return fmt.Errorf("stochmodel: Horizon %v must be positive", c.Horizon)
+	case c.Runs <= 0:
+		return fmt.Errorf("stochmodel: Runs %v must be positive", c.Runs)
+	}
+	return nil
+}
+
+// Result summarizes a Monte Carlo evaluation.
+type Result struct {
+	// MeanImbalance is the Monte Carlo estimate of E[χ(t)].
+	MeanImbalance float64
+	// Bound is Theorem 2's 1/√(λe·t) leading term.
+	Bound float64
+	// EffectiveLambda is λe.
+	EffectiveLambda float64
+	// Flows and Pieces count the generated flows and placed units.
+	Flows, Pieces int
+}
+
+// Bound returns 1/√(λe·t) for the given parameters; cv is σ_S/E[S].
+func Bound(lambda float64, links int, cv, t float64) float64 {
+	le := EffectiveLambda(lambda, links, cv)
+	return 1 / math.Sqrt(le*t)
+}
+
+// EffectiveLambda returns λe = λ / (8·n·log n·(1+cv²)).
+func EffectiveLambda(lambda float64, links int, cv float64) float64 {
+	n := float64(links)
+	return lambda / (8 * n * math.Log(n) * (1 + cv*cv))
+}
+
+// Evaluate estimates E[χ(t)] by Monte Carlo.
+func Evaluate(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRand(cfg.Seed + 1)
+	n := cfg.Links
+	res := &Result{}
+	meanSize := cfg.Dist.Mean()
+	expected := cfg.Lambda * meanSize * cfg.Horizon / float64(n)
+
+	sumChi := 0.0
+	for run := 0; run < cfg.Runs; run++ {
+		loads := make([]float64, n)
+		// Poisson arrivals over (0, t): the count is Poisson(λt); since
+		// only totals matter for A_k(t) with full flow sizes counted at
+		// arrival (the theorem's A_k counts traffic *sent*, which for
+		// the bound's purposes is the assigned volume), we draw the
+		// count then place each flow.
+		count := poisson(rng, cfg.Lambda*cfg.Horizon)
+		for i := 0; i < count; i++ {
+			size := cfg.Dist.Sample(rng)
+			res.Flows++
+			if cfg.FlowletBytes > 0 {
+				for size > 0 {
+					piece := size
+					if piece > cfg.FlowletBytes {
+						piece = cfg.FlowletBytes
+					}
+					loads[rng.Intn(n)] += float64(piece)
+					size -= piece
+					res.Pieces++
+				}
+			} else {
+				loads[rng.Intn(n)] += float64(size)
+				res.Pieces++
+			}
+		}
+		min, max := loads[0], loads[0]
+		for _, v := range loads[1:] {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		sumChi += (max - min) / expected
+	}
+	res.MeanImbalance = sumChi / float64(cfg.Runs)
+
+	cv := 0.0
+	if e, ok := cfg.Dist.(*workload.Empirical); ok {
+		cv = e.CV()
+	}
+	res.EffectiveLambda = EffectiveLambda(cfg.Lambda, n, cv)
+	res.Bound = 1 / math.Sqrt(res.EffectiveLambda*cfg.Horizon)
+	return res, nil
+}
+
+// poisson draws a Poisson(mean) variate; for large means it uses the
+// normal approximation, which is ample for Monte Carlo counting.
+func poisson(rng *sim.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 500 {
+		v := mean + math.Sqrt(mean)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	// Knuth's method.
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

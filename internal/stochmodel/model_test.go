@@ -1,0 +1,171 @@
+package stochmodel
+
+import (
+	"math"
+	"testing"
+
+	"conga/internal/sim"
+	"conga/internal/workload"
+)
+
+func baseConfig() Config {
+	return Config{
+		Links:   4,
+		Lambda:  1000,
+		Dist:    workload.Fixed(100_000),
+		Horizon: 1.0,
+		Runs:    50,
+		Seed:    1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Links = 1 },
+		func(c *Config) { c.Lambda = 0 },
+		func(c *Config) { c.Dist = nil },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Runs = 0 },
+	}
+	for i, mutate := range bad {
+		c := baseConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestImbalanceDecaysWithTime(t *testing.T) {
+	short := baseConfig()
+	short.Horizon = 0.1
+	long := baseConfig()
+	long.Horizon = 10
+	rs, err := Evaluate(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Evaluate(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.MeanImbalance >= rs.MeanImbalance {
+		t.Fatalf("imbalance did not decay with t: %.4f (t=0.1) vs %.4f (t=10)",
+			rs.MeanImbalance, rl.MeanImbalance)
+	}
+	// Theorem 2 predicts ~1/√t decay: 10× the horizon should shrink the
+	// imbalance by very roughly √100 ≈ 10; accept a broad band.
+	ratio := rs.MeanImbalance / rl.MeanImbalance
+	if ratio < 3 {
+		t.Fatalf("decay ratio %.2f too weak for 1/√t (expected ≈10)", ratio)
+	}
+}
+
+// TestHeavyTailHarderToBalance is the qualitative content of Theorem 2:
+// at equal mean load, a high-CV distribution leaves more imbalance.
+func TestHeavyTailHarderToBalance(t *testing.T) {
+	light := baseConfig()
+	light.Runs = 200
+	light.Dist = workload.Fixed(int64(workload.DataMining().Mean()))
+	heavy := baseConfig()
+	heavy.Runs = 200
+	heavy.Dist = workload.DataMining()
+	rl, err := Evaluate(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Evaluate(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.MeanImbalance <= rl.MeanImbalance*1.5 {
+		t.Fatalf("heavy tail not harder: fixed=%.4f data-mining=%.4f",
+			rl.MeanImbalance, rh.MeanImbalance)
+	}
+}
+
+// TestFlowletsReduceImbalance: chopping flows into independently placed
+// flowlets must shrink the imbalance — the reason CONGA uses them.
+func TestFlowletsReduceImbalance(t *testing.T) {
+	flow := baseConfig()
+	flow.Dist = workload.DataMining()
+	flow.Runs = 200
+	flowlet := flow
+	flowlet.FlowletBytes = 500_000 // the §2.6.1 ~500 KB flowlet scale
+	rf, err := Evaluate(flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfl, err := Evaluate(flowlet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rfl.MeanImbalance >= rf.MeanImbalance {
+		t.Fatalf("flowlets did not help: flow=%.4f flowlet=%.4f",
+			rf.MeanImbalance, rfl.MeanImbalance)
+	}
+	if rfl.Pieces <= rf.Pieces {
+		t.Fatal("flowlet run did not create more placement units")
+	}
+}
+
+// TestBoundHolds checks E[χ(t)] ≤ 1/√(λe·t) for an empirical distribution
+// at a comfortably large t.
+func TestBoundHolds(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Dist = workload.WebSearch()
+	cfg.Horizon = 5
+	cfg.Runs = 100
+	r, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanImbalance > r.Bound {
+		t.Fatalf("measured E[χ] %.4f exceeds Theorem 2 bound %.4f", r.MeanImbalance, r.Bound)
+	}
+}
+
+func TestEffectiveLambdaFormula(t *testing.T) {
+	got := EffectiveLambda(800, 4, 1)
+	want := 800 / (8 * 4 * math.Log(4) * 2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("λe = %v, want %v", got, want)
+	}
+	if b := Bound(800, 4, 1, 2); math.Abs(b-1/math.Sqrt(want*2)) > 1e-9 {
+		t.Fatalf("Bound = %v", b)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, _ := Evaluate(baseConfig())
+	b, _ := Evaluate(baseConfig())
+	if a.MeanImbalance != b.MeanImbalance {
+		t.Fatal("same seed, different result")
+	}
+	c := baseConfig()
+	c.Seed = 2
+	d, _ := Evaluate(c)
+	if d.MeanImbalance == a.MeanImbalance {
+		t.Fatal("different seed, same result")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := newTestRand()
+	for _, mean := range []float64{3, 50, 2000} {
+		const n = 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(rng, mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Fatalf("poisson(%v) mean %v", mean, got)
+		}
+	}
+}
+
+func newTestRand() *sim.Rand { return sim.NewRand(99) }

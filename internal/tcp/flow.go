@@ -1,0 +1,47 @@
+package tcp
+
+import (
+	"conga/internal/fabric"
+	"conga/internal/sim"
+)
+
+// Flow is a one-shot transfer: size bytes from one host to another over a
+// fresh connection, reporting its completion time. Workload generators
+// create one Flow per arrival.
+type Flow struct {
+	Sender   *Sender
+	Receiver *Receiver
+	Size     int64
+	Started  sim.Time
+}
+
+// StartFlow begins transferring size bytes from src to dst immediately.
+// onDone (optional) receives the flow and its completion time; both
+// endpoints are closed before the callback so ports recycle even if the
+// callback panics the experiment.
+func StartFlow(eng *sim.Engine, src, dst *fabric.Host, flowID uint64, size int64,
+	cfg Config, onDone func(f *Flow, now sim.Time)) *Flow {
+	if size <= 0 {
+		size = 1
+	}
+	now := eng.Now()
+	dstPort := dst.AllocPort()
+	f := &Flow{
+		Receiver: NewReceiver(dst, dstPort),
+		Size:     size,
+		Started:  now,
+	}
+	f.Sender = NewSender(eng, src, flowID, dst.ID, dstPort, cfg)
+	f.Sender.OnAllAcked = func(done sim.Time) {
+		f.Sender.Close()
+		f.Receiver.Close()
+		if onDone != nil {
+			onDone(f, done)
+		}
+	}
+	f.Sender.Queue(size, now)
+	return f
+}
+
+// FCT returns the flow completion time given the completion timestamp.
+func (f *Flow) FCT(done sim.Time) sim.Time { return done - f.Started }

@@ -1,0 +1,142 @@
+package tcp
+
+import (
+	"sort"
+
+	"conga/internal/fabric"
+	"conga/internal/sim"
+)
+
+// Receiver is the receiving half of a connection: it reassembles the byte
+// stream, acknowledges every arriving segment cumulatively, and buffers
+// out-of-order data. Reordering (e.g. caused by flowlet moves or packet
+// spraying) surfaces to the sender as duplicate ACKs, exactly the TCP
+// behaviour CONGA's flowlet gap is sized to avoid.
+type Receiver struct {
+	host *fabric.Host
+	port int
+
+	rcvNxt int64
+	// ooo holds disjoint, sorted out-of-order intervals [start, end).
+	ooo []interval
+
+	// OnDelivered fires whenever the in-order prefix advances, with the
+	// new prefix length. Applications use it to delimit responses.
+	OnDelivered func(total int64, now sim.Time)
+
+	// Counters.
+	SegmentsIn  uint64
+	BytesIn     uint64
+	OutOfOrder  uint64
+	DupSegments uint64
+	AcksOut     uint64
+
+	freed bool
+}
+
+type interval struct{ start, end int64 }
+
+// NewReceiver binds a receiver to (host, port).
+func NewReceiver(host *fabric.Host, port int) *Receiver {
+	r := &Receiver{host: host, port: port}
+	host.Bind(port, r)
+	return r
+}
+
+// Close unbinds the receiver.
+func (r *Receiver) Close() {
+	if r.freed {
+		return
+	}
+	r.freed = true
+	r.host.Unbind(r.port)
+}
+
+// Delivered returns the length of the contiguous received prefix.
+func (r *Receiver) Delivered() int64 { return r.rcvNxt }
+
+// Receive handles a data segment: update reassembly state and emit a
+// cumulative ACK echoing the segment's timestamp.
+func (r *Receiver) Receive(p *fabric.Packet, now sim.Time) {
+	if p.IsAck || r.freed {
+		return
+	}
+	r.SegmentsIn++
+	r.BytesIn += uint64(p.Payload)
+	start, end := p.Seq, p.Seq+int64(p.Payload)
+
+	recent := -1
+	switch {
+	case end <= r.rcvNxt:
+		r.DupSegments++
+	case start <= r.rcvNxt:
+		r.rcvNxt = end
+		r.drainOOO()
+		if r.OnDelivered != nil {
+			r.OnDelivered(r.rcvNxt, now)
+		}
+	default:
+		r.OutOfOrder++
+		recent = r.insertOOO(start, end)
+	}
+	r.sendAck(p, recent, now)
+}
+
+// insertOOO merges [start, end) into the buffer and returns the index of
+// the interval now containing it.
+func (r *Receiver) insertOOO(start, end int64) int {
+	i := sort.Search(len(r.ooo), func(i int) bool { return r.ooo[i].end >= start })
+	// Merge every overlapping/adjacent interval from i onward.
+	newIv := interval{start, end}
+	j := i
+	for j < len(r.ooo) && r.ooo[j].start <= end {
+		if r.ooo[j].start < newIv.start {
+			newIv.start = r.ooo[j].start
+		}
+		if r.ooo[j].end > newIv.end {
+			newIv.end = r.ooo[j].end
+		}
+		j++
+	}
+	r.ooo = append(r.ooo[:i], append([]interval{newIv}, r.ooo[j:]...)...)
+	return i
+}
+
+func (r *Receiver) drainOOO() {
+	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
+		if r.ooo[0].end > r.rcvNxt {
+			r.rcvNxt = r.ooo[0].end
+		}
+		r.ooo = r.ooo[1:]
+	}
+}
+
+func (r *Receiver) sendAck(data *fabric.Packet, recent int, now sim.Time) {
+	r.AcksOut++
+	ack := &fabric.Packet{
+		FlowID:  data.FlowID, // same 5-tuple identity, reverse direction
+		DstHost: data.SrcHost,
+		SrcPort: r.port,
+		DstPort: data.SrcPort,
+		IsAck:   true,
+		AckNo:   r.rcvNxt,
+		EchoTS:  data.SentAt,
+		SentAt:  now,
+	}
+	// SACK blocks (3-block limit, as with a timestamp option on the
+	// wire). Per RFC 2018 the first block reports the range containing
+	// the segment that triggered this ACK; the rest rotate through the
+	// other buffered ranges so the sender's scoreboard converges even
+	// with many holes.
+	if n := len(r.ooo); n > 0 {
+		start := recent
+		if start < 0 || start >= n {
+			start = 0
+		}
+		for k := 0; k < n && k < 3; k++ {
+			iv := r.ooo[(start+k)%n]
+			ack.Sack = append(ack.Sack, [2]int64{iv.start, iv.end})
+		}
+	}
+	r.host.Send(ack, now)
+}

@@ -1,0 +1,206 @@
+// Package traceanalysis reproduces the §2.6 measurement study: how data
+// bytes distribute across transfer sizes when traffic is chopped into
+// flowlets at different inactivity gaps (Figure 5), and how many flowlets
+// are concurrently active (the table-sizing argument of §2.6.1).
+//
+// The paper analyzed 150 GB of production packet traces; those are
+// proprietary, so this package generates synthetic traces with the
+// burst structure the paper attributes to real datacenter traffic: flows
+// transmit in NIC-offload-sized line-rate bursts separated by idle gaps
+// (Kapoor et al.'s "bullet trains"), with flow sizes drawn from an
+// empirical distribution. The flowletization algorithm applied to the
+// trace is exactly the one the CONGA ASIC implements conceptually: a new
+// flowlet starts whenever the inter-packet gap within a flow exceeds the
+// inactivity threshold.
+package traceanalysis
+
+import (
+	"fmt"
+	"sort"
+
+	"conga/internal/sim"
+	"conga/internal/workload"
+)
+
+// Burst is one contiguous line-rate transmission of a flow.
+type Burst struct {
+	FlowID uint64
+	Start  sim.Time
+	End    sim.Time // transmission of the last byte
+	Bytes  int64
+}
+
+// Trace is a set of bursts, ordered per flow.
+type Trace struct {
+	// Bursts grouped by flow, each group in time order.
+	ByFlow map[uint64][]Burst
+	// TotalBytes across the trace.
+	TotalBytes int64
+	// Span is the trace duration.
+	Span sim.Time
+}
+
+// GenConfig parameterizes the synthetic trace generator.
+type GenConfig struct {
+	// Flows is the number of flows to generate.
+	Flows int
+	// Dist draws flow sizes.
+	Dist workload.SizeDist
+	// LinkRateBps is the host line rate during bursts.
+	LinkRateBps float64
+	// BurstBytes is the NIC-offload burst size (bytes sent back-to-back
+	// at line rate); 64 KB matches TSO.
+	BurstBytes int64
+	// MeanRateBps is the flow's long-run average rate; the idle gap
+	// between bursts is exponential with the mean that achieves it.
+	MeanRateBps float64
+	// ArrivalWindow spreads flow start times uniformly over this window.
+	ArrivalWindow sim.Time
+	Seed          uint64
+}
+
+// Validate reports the first invalid field.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.Flows <= 0:
+		return fmt.Errorf("traceanalysis: Flows %d must be positive", c.Flows)
+	case c.Dist == nil:
+		return fmt.Errorf("traceanalysis: no size distribution")
+	case c.LinkRateBps <= 0:
+		return fmt.Errorf("traceanalysis: LinkRateBps must be positive")
+	case c.BurstBytes <= 0:
+		return fmt.Errorf("traceanalysis: BurstBytes must be positive")
+	case c.MeanRateBps <= 0 || c.MeanRateBps > c.LinkRateBps:
+		return fmt.Errorf("traceanalysis: MeanRateBps %v outside (0, line rate]", c.MeanRateBps)
+	case c.ArrivalWindow < 0:
+		return fmt.Errorf("traceanalysis: negative arrival window")
+	}
+	return nil
+}
+
+// Generate builds a synthetic trace.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRand(cfg.Seed + 7)
+	tr := &Trace{ByFlow: make(map[uint64][]Burst, cfg.Flows)}
+
+	// Idle gap mean: burst takes B·8/C; average rate R over a period
+	// requires period B·8/R, so mean idle = B·8·(1/R − 1/C).
+	meanIdle := float64(cfg.BurstBytes) * 8 * (1/cfg.MeanRateBps - 1/cfg.LinkRateBps)
+
+	for f := 0; f < cfg.Flows; f++ {
+		id := uint64(f + 1)
+		size := cfg.Dist.Sample(rng)
+		at := sim.Time(0)
+		if cfg.ArrivalWindow > 0 {
+			at = sim.Time(rng.Intn(int(cfg.ArrivalWindow)))
+		}
+		for size > 0 {
+			b := cfg.BurstBytes
+			if size < b {
+				b = size
+			}
+			dur := sim.Time(float64(b) * 8 / cfg.LinkRateBps * float64(sim.Second))
+			burst := Burst{FlowID: id, Start: at, End: at + dur, Bytes: b}
+			tr.ByFlow[id] = append(tr.ByFlow[id], burst)
+			tr.TotalBytes += b
+			size -= b
+			if burst.End > tr.Span {
+				tr.Span = burst.End
+			}
+			gap := sim.Time(rng.ExpFloat64() * meanIdle * float64(sim.Second))
+			at = burst.End + gap
+		}
+	}
+	return tr, nil
+}
+
+// Flowletize splits every flow into flowlets at the given inactivity gap:
+// a new flowlet starts when the idle interval between consecutive bursts
+// exceeds gap. It returns the flowlet sizes in bytes.
+func (tr *Trace) Flowletize(gap sim.Time) []int64 {
+	var out []int64
+	for _, bursts := range tr.ByFlow {
+		cur := int64(0)
+		last := sim.Time(-1)
+		for _, b := range bursts {
+			if last >= 0 && b.Start-last > gap {
+				out = append(out, cur)
+				cur = 0
+			}
+			cur += b.Bytes
+			last = b.End
+		}
+		if cur > 0 {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// BytesCDF returns the distribution of data bytes across transfer sizes —
+// the y-axis of Figure 5: fraction of all bytes carried by transfers of
+// size ≤ x, evaluated at each distinct transfer size.
+func BytesCDF(sizes []int64) [][2]float64 {
+	if len(sizes) == 0 {
+		return nil
+	}
+	s := append([]int64(nil), sizes...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	total := 0.0
+	for _, v := range s {
+		total += float64(v)
+	}
+	var out [][2]float64
+	run := 0.0
+	for i, v := range s {
+		run += float64(v)
+		if i+1 < len(s) && s[i+1] == v {
+			continue
+		}
+		out = append(out, [2]float64{float64(v), run / total})
+	}
+	return out
+}
+
+// MedianBytesSize returns the transfer size below which half of the bytes
+// fall — the paper's headline statistic (≈30 MB for flows vs ≈500 KB for
+// 500 µs flowlets).
+func MedianBytesSize(sizes []int64) int64 {
+	cdf := BytesCDF(sizes)
+	for _, pt := range cdf {
+		if pt[1] >= 0.5 {
+			return int64(pt[0])
+		}
+	}
+	if len(cdf) > 0 {
+		return int64(cdf[len(cdf)-1][0])
+	}
+	return 0
+}
+
+// ConcurrencyStats reports the distribution of distinct active flows per
+// interval (the §2.6.1 concurrent-flowlet census): median and maximum
+// counts of flows with at least one burst overlapping each interval.
+func (tr *Trace) ConcurrencyStats(interval sim.Time) (median, max int) {
+	if tr.Span == 0 || interval <= 0 {
+		return 0, 0
+	}
+	nBins := int(tr.Span/interval) + 1
+	counts := make([]int, nBins)
+	for _, bursts := range tr.ByFlow {
+		seen := make(map[int]bool)
+		for _, b := range bursts {
+			for bin := int(b.Start / interval); bin <= int(b.End/interval) && bin < nBins; bin++ {
+				if !seen[bin] {
+					seen[bin] = true
+					counts[bin]++
+				}
+			}
+		}
+	}
+	sort.Ints(counts)
+	return counts[len(counts)/2], counts[len(counts)-1]
+}

@@ -1,0 +1,192 @@
+package traceanalysis
+
+import (
+	"testing"
+
+	"conga/internal/sim"
+	"conga/internal/workload"
+)
+
+func genCfg() GenConfig {
+	return GenConfig{
+		Flows:         300,
+		Dist:          workload.DataMining(),
+		LinkRateBps:   10e9,
+		BurstBytes:    64 << 10,
+		MeanRateBps:   1e9,
+		ArrivalWindow: 10 * sim.Millisecond,
+		Seed:          3,
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []func(*GenConfig){
+		func(c *GenConfig) { c.Flows = 0 },
+		func(c *GenConfig) { c.Dist = nil },
+		func(c *GenConfig) { c.LinkRateBps = 0 },
+		func(c *GenConfig) { c.BurstBytes = 0 },
+		func(c *GenConfig) { c.MeanRateBps = 0 },
+		func(c *GenConfig) { c.MeanRateBps = 20e9 }, // above line rate
+	}
+	for i, mutate := range bad {
+		c := genCfg()
+		mutate(&c)
+		if _, err := Generate(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateConservesBytes(t *testing.T) {
+	tr, err := Generate(genCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.ByFlow) != 300 {
+		t.Fatalf("%d flows, want 300", len(tr.ByFlow))
+	}
+	var sum int64
+	for _, bursts := range tr.ByFlow {
+		for _, b := range bursts {
+			sum += b.Bytes
+			if b.End < b.Start {
+				t.Fatal("burst ends before it starts")
+			}
+			if b.Bytes <= 0 || b.Bytes > 64<<10 {
+				t.Fatalf("burst size %d outside (0, 64KB]", b.Bytes)
+			}
+		}
+	}
+	if sum != tr.TotalBytes {
+		t.Fatalf("TotalBytes %d ≠ burst sum %d", tr.TotalBytes, sum)
+	}
+}
+
+func TestBurstsAreTimeOrderedPerFlow(t *testing.T) {
+	tr, err := Generate(genCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, bursts := range tr.ByFlow {
+		for i := 1; i < len(bursts); i++ {
+			if bursts[i].Start < bursts[i-1].End {
+				t.Fatalf("flow %d bursts overlap", id)
+			}
+		}
+	}
+}
+
+// TestFlowletizeGapSemantics uses a hand-built trace to pin the gap rule.
+func TestFlowletizeGapSemantics(t *testing.T) {
+	ms := sim.Millisecond
+	tr := &Trace{ByFlow: map[uint64][]Burst{
+		1: {
+			{FlowID: 1, Start: 0, End: 1 * ms, Bytes: 100},
+			{FlowID: 1, Start: 2 * ms, End: 3 * ms, Bytes: 200},   // 1 ms gap
+			{FlowID: 1, Start: 10 * ms, End: 11 * ms, Bytes: 400}, // 7 ms gap
+		},
+	}}
+	// Gap threshold 2 ms: the 1 ms gap does not split, the 7 ms one does.
+	got := tr.Flowletize(2 * ms)
+	if len(got) != 2 {
+		t.Fatalf("flowlets %v, want 2", got)
+	}
+	if got[0]+got[1] != 700 || (got[0] != 300 && got[0] != 400) {
+		t.Fatalf("flowlet sizes %v, want {300, 400}", got)
+	}
+	// Huge gap: one flowlet of everything.
+	if got := tr.Flowletize(100 * ms); len(got) != 1 || got[0] != 700 {
+		t.Fatalf("no-split flowletization %v, want [700]", got)
+	}
+	// Tiny gap: every burst its own flowlet.
+	if got := tr.Flowletize(1); len(got) != 3 {
+		t.Fatalf("per-burst flowletization %v, want 3 pieces", got)
+	}
+}
+
+func TestFlowletizeConservesBytes(t *testing.T) {
+	tr, err := Generate(genCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gap := range []sim.Time{100 * sim.Microsecond, 500 * sim.Microsecond, 250 * sim.Millisecond} {
+		var sum int64
+		for _, s := range tr.Flowletize(gap) {
+			sum += s
+		}
+		if sum != tr.TotalBytes {
+			t.Fatalf("gap %v: flowlets carry %d bytes, trace has %d", gap, sum, tr.TotalBytes)
+		}
+	}
+}
+
+// TestFigure5Shape reproduces the paper's Figure 5 ordering: smaller
+// inactivity gaps concentrate the bytes in smaller transfers. The paper
+// reports ≈2 orders of magnitude between the 250 ms (per-flow) and 500 µs
+// curves at the byte-median.
+func TestFigure5Shape(t *testing.T) {
+	cfg := genCfg()
+	cfg.Flows = 2000
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFlow := MedianBytesSize(tr.Flowletize(250 * sim.Millisecond))
+	m500 := MedianBytesSize(tr.Flowletize(500 * sim.Microsecond))
+	m100 := MedianBytesSize(tr.Flowletize(100 * sim.Microsecond))
+	if !(m100 <= m500 && m500 < mFlow) {
+		t.Fatalf("medians not ordered: 100µs=%d 500µs=%d flow=%d", m100, m500, mFlow)
+	}
+	if mFlow < 20*m500 {
+		t.Fatalf("flowlet gain too small: flow median %d vs 500µs median %d", mFlow, m500)
+	}
+}
+
+func TestBytesCDFBasics(t *testing.T) {
+	cdf := BytesCDF([]int64{100, 100, 800})
+	// 1000 bytes total: transfers ≤100 carry 200 (0.2); ≤800 carry all.
+	if len(cdf) != 2 {
+		t.Fatalf("CDF %v, want 2 points", cdf)
+	}
+	if cdf[0][0] != 100 || cdf[0][1] != 0.2 || cdf[1][1] != 1.0 {
+		t.Fatalf("CDF %v", cdf)
+	}
+	if BytesCDF(nil) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestMedianBytesSize(t *testing.T) {
+	if m := MedianBytesSize([]int64{1, 1, 1, 97}); m != 97 {
+		t.Fatalf("median-by-bytes %d, want 97 (the heavy transfer)", m)
+	}
+	if m := MedianBytesSize(nil); m != 0 {
+		t.Fatalf("empty median %d", m)
+	}
+}
+
+func TestConcurrencyStats(t *testing.T) {
+	cfg := genCfg()
+	cfg.Flows = 500
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	median, max := tr.ConcurrencyStats(sim.Millisecond)
+	if median <= 0 || max < median {
+		t.Fatalf("concurrency median=%d max=%d nonsensical", median, max)
+	}
+	// §2.6.1: concurrency is far below the flow count because flows are
+	// bursty and short-lived at any instant.
+	if max >= cfg.Flows {
+		t.Fatalf("max concurrency %d not below flow count %d", max, cfg.Flows)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(genCfg())
+	b, _ := Generate(genCfg())
+	if a.TotalBytes != b.TotalBytes || a.Span != b.Span {
+		t.Fatal("same seed produced different traces")
+	}
+}
