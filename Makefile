@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-engine check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-bearing code: the parallel experiment runner
+# and everything it drives. Engines are single-threaded, so a race here
+# means experiment isolation is broken.
+race:
+	$(GO) test -race ./internal/... .
+
+vet:
+	$(GO) vet ./...
+
+# Full paper-artifact benchmarks (minutes).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Fast engine micro-benchmark (seconds) for hot-path iterations.
+bench-engine:
+	$(GO) test -bench BenchmarkEngineRaw -run '^$$' .
+
+check: build vet test race

@@ -24,8 +24,28 @@ func benchTopo() Topology {
 		AccessGbps: 10, FabricGbps: 20}
 }
 
+// BenchmarkEngineRaw is a pure schedule/run loop on the bare event engine —
+// no fabric, no transport — so engine-level regressions (heap cost, event
+// allocation) are visible in isolation from the packet model.
+func BenchmarkEngineRaw(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.New()
+	fn := func(sim.Time) {}
+	for i := 0; i < b.N; i++ {
+		base := eng.Now()
+		// 64 events over 8 distinct timestamps: exercises both heap ordering
+		// and the same-time insertion-order tie-break.
+		for j := 0; j < 64; j++ {
+			eng.At(base+sim.Time(j%8), fn)
+		}
+		eng.Run(sim.MaxTime)
+	}
+	b.ReportMetric(64, "events/op")
+}
+
 func benchFCT(b *testing.B, scheme Scheme, w Workload, load float64, fail bool) {
 	b.Helper()
+	b.ReportAllocs()
 	topo := benchTopo()
 	if fail {
 		topo.FailedLinks = [][3]int{{1, 1, 1}}
@@ -56,6 +76,7 @@ func benchFCT(b *testing.B, scheme Scheme, w Workload, load float64, fail bool) 
 // BenchmarkFig02Asymmetry regenerates the Figure 2 scenario (ECMP vs local
 // vs CONGA under capacity asymmetry).
 func BenchmarkFig02Asymmetry(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := RunFigure2(SchemeCONGA, uint64(i+1))
 		if err != nil {
@@ -67,6 +88,7 @@ func BenchmarkFig02Asymmetry(b *testing.B) {
 
 // BenchmarkFig03TrafficMatrix regenerates the Figure 3 scenario.
 func BenchmarkFig03TrafficMatrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunFigure3(SchemeCONGA, true, uint64(i+1)); err != nil {
 			b.Fatal(err)
@@ -76,6 +98,7 @@ func BenchmarkFig03TrafficMatrix(b *testing.B) {
 
 // BenchmarkFig05Flowlets regenerates the Figure 5 flowlet-size analysis.
 func BenchmarkFig05Flowlets(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr, err := traceanalysis.Generate(traceanalysis.GenConfig{
 			Flows:         1000,
@@ -98,6 +121,7 @@ func BenchmarkFig05Flowlets(b *testing.B) {
 
 // BenchmarkFig08Workloads regenerates the Figure 8 distribution statistics.
 func BenchmarkFig08Workloads(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, w := range []Workload{WorkloadEnterprise, WorkloadDataMining} {
 			e := w.Dist().(*workload.Empirical)
@@ -140,6 +164,7 @@ func BenchmarkFig11LinkFailureECMP(b *testing.B) {
 
 // BenchmarkFig12Imbalance regenerates the Figure 12 imbalance CDF.
 func BenchmarkFig12Imbalance(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunFCT(FCTConfig{
 			Topology:         benchTopo(),
@@ -161,6 +186,7 @@ func BenchmarkFig12Imbalance(b *testing.B) {
 
 // BenchmarkFig13Incast regenerates one Figure 13 cell (fanout 8, TCP).
 func BenchmarkFig13Incast(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunIncast(IncastConfig{
 			Topology:     benchTopo(),
@@ -180,6 +206,7 @@ func BenchmarkFig13Incast(b *testing.B) {
 
 // BenchmarkFig13IncastMPTCP is Figure 13's MPTCP series.
 func BenchmarkFig13IncastMPTCP(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunIncast(IncastConfig{
 			Topology:     benchTopo(),
@@ -199,6 +226,7 @@ func BenchmarkFig13IncastMPTCP(b *testing.B) {
 
 // BenchmarkFig14HDFS regenerates one Figure 14 trial.
 func BenchmarkFig14HDFS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := RunHDFS(HDFSConfig{
 			Topology:       benchTopo(),
@@ -219,6 +247,7 @@ func BenchmarkFig14HDFS(b *testing.B) {
 
 // BenchmarkFig15LinkSpeeds regenerates one Figure 15 cell: 40G access.
 func BenchmarkFig15LinkSpeeds(b *testing.B) {
+	b.ReportAllocs()
 	topo := Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 2, LinksPerSpine: 1,
 		AccessGbps: 40, FabricGbps: 40}
 	for i := 0; i < b.N; i++ {
@@ -241,6 +270,7 @@ func BenchmarkFig15LinkSpeeds(b *testing.B) {
 // BenchmarkFig16MultiFailure regenerates the Figure 16 multi-failure
 // queue-length comparison at reduced scale.
 func BenchmarkFig16MultiFailure(b *testing.B) {
+	b.ReportAllocs()
 	topo := Topology{Leaves: 3, Spines: 2, HostsPerLeaf: 4, LinksPerSpine: 2,
 		AccessGbps: 10, FabricGbps: 10,
 		FailedLinks: [][3]int{{0, 1, 0}, {2, 0, 1}}}
@@ -265,6 +295,7 @@ func BenchmarkFig16MultiFailure(b *testing.B) {
 
 // BenchmarkThm1PoA regenerates the §6.1 Price-of-Anarchy computation.
 func BenchmarkThm1PoA(b *testing.B) {
+	b.ReportAllocs()
 	rng := sim.NewRand(42)
 	for i := 0; i < b.N; i++ {
 		in := anarchy.Uniform(3, 3, 0, []anarchy.User{
@@ -291,6 +322,7 @@ func BenchmarkThm1PoA(b *testing.B) {
 
 // BenchmarkThm2Imbalance regenerates the §6.2 stochastic imbalance model.
 func BenchmarkThm2Imbalance(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := stochmodel.Evaluate(stochmodel.Config{
 			Links:   4,
@@ -310,6 +342,7 @@ func BenchmarkThm2Imbalance(b *testing.B) {
 // BenchmarkAblationGapMode compares the ASIC age-bit flowlet detection to
 // exact timestamps (the DESIGN.md ablation).
 func BenchmarkAblationGapMode(b *testing.B) {
+	b.ReportAllocs()
 	p := DefaultParams()
 	p.GapMode = 1 // core.GapModeTimestamp
 	for i := 0; i < b.N; i++ {

@@ -166,17 +166,22 @@ func runFig8(quick bool) {
 
 func runFCTFigure(quick bool, w conga.Workload) {
 	loads := fctLoads(quick)
-	type row struct {
-		res *conga.FCTResult
-	}
-	results := map[string]map[float64]*conga.FCTResult{}
-	for _, s := range fctSchemes() {
-		results[conga.SchemeName(s)] = map[float64]*conga.FCTResult{}
+	schemes := fctSchemes()
+	var cfgs []conga.FCTConfig
+	for _, s := range schemes {
 		for _, load := range loads {
-			r, err := conga.RunFCT(fctConfig(quick, s, w, load))
-			check(err)
-			results[conga.SchemeName(s)][load] = r
+			cfgs = append(cfgs, fctConfig(quick, s, w, load))
 		}
+	}
+	rs, err := conga.RunFCTs(cfgs)
+	check(err)
+	results := map[string]map[float64]*conga.FCTResult{}
+	for i, r := range rs {
+		name := conga.SchemeName(schemes[i/len(loads)])
+		if results[name] == nil {
+			results[name] = map[float64]*conga.FCTResult{}
+		}
+		results[name][loads[i%len(loads)]] = r
 	}
 	fmt.Println("(a) overall average FCT, normalized to optimal:")
 	printSeries(loads, results, func(r *conga.FCTResult) float64 { return r.NormFCT })
@@ -243,30 +248,43 @@ func runFig11(quick bool) {
 	if quick {
 		loads = []float64{0.3, 0.6}
 	}
+	schemes := fctSchemes()
 	for _, w := range []conga.Workload{conga.WorkloadEnterprise, conga.WorkloadDataMining} {
 		fmt.Printf("(%s) overall average FCT normalized to optimal, WITH link failure:\n", w)
-		results := map[string]map[float64]*conga.FCTResult{}
-		for _, s := range fctSchemes() {
-			results[conga.SchemeName(s)] = map[float64]*conga.FCTResult{}
+		var cfgs []conga.FCTConfig
+		for _, s := range schemes {
 			for _, load := range loads {
 				cfg := fctConfig(quick, s, w, load)
 				cfg.Topology = topo
-				r, err := conga.RunFCT(cfg)
-				check(err)
-				results[conga.SchemeName(s)][load] = r
+				cfgs = append(cfgs, cfg)
 			}
+		}
+		rs, err := conga.RunFCTs(cfgs)
+		check(err)
+		results := map[string]map[float64]*conga.FCTResult{}
+		for i, r := range rs {
+			name := conga.SchemeName(schemes[i/len(loads)])
+			if results[name] == nil {
+				results[name] = map[float64]*conga.FCTResult{}
+			}
+			results[name][loads[i%len(loads)]] = r
 		}
 		printSeries(loads, results, func(r *conga.FCTResult) float64 { return r.NormFCT })
 	}
 
 	fmt.Println("(c) hotspot queue occupancy CDF, data-mining at 60% load:")
 	fmt.Printf("  %-12s %10s %10s %10s %10s\n", "scheme", "p50", "p90", "p99", "max")
-	for _, s := range fctSchemes() {
+	var qcfgs []conga.FCTConfig
+	for _, s := range schemes {
 		cfg := fctConfig(quick, s, conga.WorkloadDataMining, 0.6)
 		cfg.Topology = topo
 		cfg.CollectQueues = true
-		r, err := conga.RunFCT(cfg)
-		check(err)
+		qcfgs = append(qcfgs, cfg)
+	}
+	qrs, err := conga.RunFCTs(qcfgs)
+	check(err)
+	for i, s := range schemes {
+		r := qrs[i]
 		q := func(target float64) float64 {
 			v := 0.0
 			for _, pt := range r.HotspotQueueCDF {
@@ -293,13 +311,18 @@ func runFig12(quick bool) {
 	for _, w := range []conga.Workload{conga.WorkloadEnterprise, conga.WorkloadDataMining} {
 		fmt.Printf("  %s:\n", w)
 		fmt.Printf("    %-12s %8s %8s %8s\n", "scheme", "mean", "p50", "p90")
+		var cfgs []conga.FCTConfig
 		for _, s := range fctSchemes() {
 			cfg := fctConfig(quick, s, w, 0.6)
 			cfg.CollectImbalance = true
 			cfg.Duration = 200 * time.Millisecond // ≥20 imbalance windows
 			cfg.MaxFlows *= 2
-			r, err := conga.RunFCT(cfg)
-			check(err)
+			cfgs = append(cfgs, cfg)
+		}
+		rs, err := conga.RunFCTs(cfgs)
+		check(err)
+		for i, s := range fctSchemes() {
+			r := rs[i]
 			p := func(q float64) float64 {
 				v := 0.0
 				for _, pt := range r.ImbalanceCDF {
@@ -327,30 +350,26 @@ func runFig13(quick bool) {
 		reqBytes = 2 << 20
 		rounds = 2
 	}
+	setups := []struct {
+		name   string
+		kind   conga.Transport
+		minRTO time.Duration
+	}{
+		{"CONGA+TCP (200ms)", conga.TransportTCP, 200 * time.Millisecond},
+		{"CONGA+TCP (1ms)", conga.TransportTCP, time.Millisecond},
+		{"MPTCP (200ms)", conga.TransportMPTCP, 200 * time.Millisecond},
+		{"MPTCP (1ms)", conga.TransportMPTCP, time.Millisecond},
+	}
+	// One flat batch across mtu×setup×fanout; results come back in config
+	// order, so printing walks them with a cursor.
+	var cfgs []conga.IncastConfig
 	for _, mtu := range []int{1500, 9000} {
-		fmt.Printf("MTU %d — goodput %% of access link vs fan-in:\n", mtu)
-		fmt.Printf("  %-22s", "fanout:")
-		for _, f := range fanouts {
-			fmt.Printf(" %6d", f)
-		}
-		fmt.Println()
-		for _, setup := range []struct {
-			name   string
-			kind   conga.Transport
-			minRTO time.Duration
-		}{
-			{"CONGA+TCP (200ms)", conga.TransportTCP, 200 * time.Millisecond},
-			{"CONGA+TCP (1ms)", conga.TransportTCP, time.Millisecond},
-			{"MPTCP (200ms)", conga.TransportMPTCP, 200 * time.Millisecond},
-			{"MPTCP (1ms)", conga.TransportMPTCP, time.Millisecond},
-		} {
-			fmt.Printf("  %-22s", setup.name)
+		for _, setup := range setups {
 			for _, f := range fanouts {
 				if f >= topo.Leaves*topo.HostsPerLeaf {
-					fmt.Printf(" %6s", "-")
 					continue
 				}
-				r, err := conga.RunIncast(conga.IncastConfig{
+				cfgs = append(cfgs, conga.IncastConfig{
 					Topology:     topo,
 					Scheme:       conga.SchemeCONGA,
 					Transport:    conga.TransportConfig{Kind: setup.kind, MinRTO: setup.minRTO, MTU: mtu},
@@ -359,8 +378,28 @@ func runFig13(quick bool) {
 					Rounds:       rounds,
 					Timeout:      time.Duration(rounds) * 10 * time.Second,
 				})
-				check(err)
-				fmt.Printf(" %5.0f%%", r.GoodputFraction*100)
+			}
+		}
+	}
+	rs, err := conga.RunIncasts(cfgs)
+	check(err)
+	next := 0
+	for _, mtu := range []int{1500, 9000} {
+		fmt.Printf("MTU %d — goodput %% of access link vs fan-in:\n", mtu)
+		fmt.Printf("  %-22s", "fanout:")
+		for _, f := range fanouts {
+			fmt.Printf(" %6d", f)
+		}
+		fmt.Println()
+		for _, setup := range setups {
+			fmt.Printf("  %-22s", setup.name)
+			for _, f := range fanouts {
+				if f >= topo.Leaves*topo.HostsPerLeaf {
+					fmt.Printf(" %6s", "-")
+					continue
+				}
+				fmt.Printf(" %5.0f%%", rs[next].GoodputFraction*100)
+				next++
 			}
 			fmt.Println()
 		}
@@ -388,11 +427,11 @@ func runFig14(quick bool) {
 			t.FailedLinks = [][3]int{{1, 1, 1}}
 		}
 		fmt.Printf("%s — job completion times over %d trials (seconds):\n", label, trials)
-		for _, s := range []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGA, conga.SchemeMPTCPMarker} {
-			fmt.Printf("  %-8s", conga.SchemeName(s))
-			var sum, worst float64
+		schemes := []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGA, conga.SchemeMPTCPMarker}
+		var cfgs []conga.HDFSConfig
+		for _, s := range schemes {
 			for trial := 0; trial < trials; trial++ {
-				r, err := conga.RunHDFS(conga.HDFSConfig{
+				cfgs = append(cfgs, conga.HDFSConfig{
 					Topology:       t,
 					Scheme:         s,
 					Transport:      conga.TransportConfig{Kind: transportFor(s), MinRTO: 10 * time.Millisecond},
@@ -401,8 +440,15 @@ func runFig14(quick bool) {
 					BackgroundLoad: 0.4,
 					Seed:           uint64(trial + 1),
 				})
-				check(err)
-				sec := r.JobCompletion.Seconds()
+			}
+		}
+		rs, err := conga.RunHDFSTrials(cfgs)
+		check(err)
+		for i, s := range schemes {
+			fmt.Printf("  %-8s", conga.SchemeName(s))
+			var sum, worst float64
+			for trial := 0; trial < trials; trial++ {
+				sec := rs[i*trials+trial].JobCompletion.Seconds()
 				sum += sec
 				if sec > worst {
 					worst = sec
@@ -447,23 +493,25 @@ func runFig15(quick bool) {
 			fmt.Printf(" %7.0f%%", l*100)
 		}
 		fmt.Println()
-		fmt.Printf("  %-8s", "conga")
+		var cfgs []conga.FCTConfig
 		for _, l := range loads {
-			base := mustFCT(quick, conga.SchemeECMP, c.topo, l)
-			cng := mustFCT(quick, conga.SchemeCONGA, c.topo, l)
+			for _, s := range []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGA} {
+				cfg := fctConfig(quick, s, conga.WorkloadWebSearch, l)
+				cfg.Topology = c.topo
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		rs, err := conga.RunFCTs(cfgs)
+		check(err)
+		fmt.Printf("  %-8s", "conga")
+		for i := range loads {
+			base := float64(rs[2*i].AvgFCT)
+			cng := float64(rs[2*i+1].AvgFCT)
 			fmt.Printf(" %8.2f", cng/base)
 		}
 		fmt.Println()
 	}
 	fmt.Println("Paper shape: CONGA's win over ECMP is larger, and appears at lower load, when access ≈ fabric speed.")
-}
-
-func mustFCT(quick bool, s conga.Scheme, topo conga.Topology, load float64) float64 {
-	cfg := fctConfig(quick, s, conga.WorkloadWebSearch, load)
-	cfg.Topology = topo
-	r, err := conga.RunFCT(cfg)
-	check(err)
-	return float64(r.AvgFCT)
 }
 
 // --- Figure 16 ---
@@ -487,12 +535,18 @@ func runFig16(quick bool) {
 	fmt.Printf("6 leaves × 4 spines × 2 links, 9 failed links, web-search at 60%% load.\n")
 	type agg struct{ spineDown, leafUp float64 }
 	out := map[string]agg{}
-	for _, s := range []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGA} {
+	schemes := []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGA}
+	var cfgs []conga.FCTConfig
+	for _, s := range schemes {
 		cfg := fctConfig(quick, s, conga.WorkloadWebSearch, 0.6)
 		cfg.Topology = topo
 		cfg.CollectQueues = true
-		r, err := conga.RunFCT(cfg)
-		check(err)
+		cfgs = append(cfgs, cfg)
+	}
+	rs, err := conga.RunFCTs(cfgs)
+	check(err)
+	for i, s := range schemes {
+		r := rs[i]
 		var a agg
 		var nd, nu int
 		for name, q := range r.AvgQueueByLink {
@@ -628,15 +682,16 @@ func runAblation(quick bool) {
 	}
 	fmt.Println("CONGA parameter sensitivity — enterprise at 60% load with link failure:")
 	fmt.Printf("  %-36s %10s %10s %10s\n", "variant", "normFCT", "drops", "timeouts")
+	var cfgs []conga.FCTConfig
+	names := make([]string, 0, len(cases)+1)
 	for _, c := range cases {
 		p := base
 		c.mutate(&p)
 		cfg := fctConfig(quick, conga.SchemeCONGA, conga.WorkloadEnterprise, 0.6)
 		cfg.Topology = topo
 		cfg.Params = &p
-		r, err := conga.RunFCT(cfg)
-		check(err)
-		fmt.Printf("  %-36s %10.2f %10d %10d\n", c.name, r.NormFCT, r.Drops, r.Timeouts)
+		cfgs = append(cfgs, cfg)
+		names = append(names, c.name)
 	}
 	// Per-packet CONGA (Figure 1's rightmost branch): a near-zero flowlet
 	// gap with a reordering-resilient TCP.
@@ -648,9 +703,13 @@ func runAblation(quick bool) {
 		cfg.Topology = topo
 		cfg.Params = &p
 		cfg.Transport.ReorderWindow = 300 * time.Microsecond
-		r, err := conga.RunFCT(cfg)
-		check(err)
-		fmt.Printf("  %-36s %10.2f %10d %10d\n", "per-packet CONGA + reorder-resilient TCP", r.NormFCT, r.Drops, r.Timeouts)
+		cfgs = append(cfgs, cfg)
+		names = append(names, "per-packet CONGA + reorder-resilient TCP")
+	}
+	rs, err := conga.RunFCTs(cfgs)
+	check(err)
+	for i, r := range rs {
+		fmt.Printf("  %-36s %10.2f %10d %10d\n", names[i], r.NormFCT, r.Drops, r.Timeouts)
 	}
 	fmt.Println("Paper shape (§3.6): performance robust across Q=3..6, τ=100..500µs, Tfl=300µs..1ms.")
 }

@@ -14,15 +14,21 @@ type Host struct {
 	Leaf int // leaf switch this host attaches to
 
 	out       *Link // host → leaf
+	pool      *PacketPool
 	recv      map[int]Receiver
 	nextPort  int
 	RxPackets uint64
 	RxBytes   uint64
 }
 
-func newHost(id, leaf int) *Host {
-	return &Host{ID: id, Leaf: leaf, recv: make(map[int]Receiver), nextPort: 10000}
+func newHost(id, leaf int, pool *PacketPool) *Host {
+	return &Host{ID: id, Leaf: leaf, pool: pool, recv: make(map[int]Receiver), nextPort: 10000}
 }
+
+// NewPacket returns a zeroed packet from the fabric's pool. The packet is
+// owned by the fabric once passed to Send: the terminal hop (delivery or
+// drop) releases it, so the caller must not retain or reuse the pointer.
+func (h *Host) NewPacket() *Packet { return h.pool.Get() }
 
 // Bind registers r to receive packets addressed to port. It panics if the
 // port is taken — two endpoints on one port is always a harness bug.
@@ -61,10 +67,13 @@ func (h *Host) AccessLink() *Link { return h.out }
 // handle implements node: packets arriving from the leaf are demuxed to the
 // bound receiver. Packets to unbound ports are dropped silently, like a
 // host RST-ing unknown traffic; a counter records them for debugging.
+// Delivery is the end of a packet's life: once the receiver returns, the
+// packet goes back to the pool, so receivers must copy anything they keep.
 func (h *Host) handle(p *Packet, _ *Link, now sim.Time) {
 	h.RxPackets++
 	h.RxBytes += uint64(p.WireSize())
 	if r, ok := h.recv[p.DstPort]; ok {
 		r.Receive(p, now)
 	}
+	h.pool.Put(p)
 }

@@ -92,6 +92,7 @@ func (ls *LeafSwitch) fromHost(p *Packet, now sim.Time) {
 	up := ls.strategy.SelectUplink(p, dstLeaf, now)
 	if up < 0 {
 		ls.NoRouteDrops++
+		ls.net.pool.Put(p)
 		return
 	}
 	p.SrcLeaf = ls.ID
@@ -106,6 +107,7 @@ func (ls *LeafSwitch) fromFabric(p *Packet, now sim.Time) {
 	ls.strategy.OnFabricArrival(p, p.SrcLeaf, now)
 	if p.Ctrl {
 		// Explicit feedback terminates at the TEP.
+		ls.net.pool.Put(p)
 		return
 	}
 	dl := ls.Downlink(p.DstHost)
@@ -114,6 +116,7 @@ func (ls *LeafSwitch) fromFabric(p *Packet, now sim.Time) {
 		// not own. Count it as a routing drop; it indicates a topology
 		// wiring bug.
 		ls.NoRouteDrops++
+		ls.net.pool.Put(p)
 		return
 	}
 	dl.Send(p, now)
@@ -129,12 +132,11 @@ func (ls *LeafSwitch) sendControl(dstLeaf int, hdr core.Header, now sim.Time) {
 	// The control packet is itself a fabric packet: its CE observation is
 	// valid for the uplink it rides, so tag it accordingly.
 	hdr.LBTag = uint8(up)
-	p := &Packet{
-		SrcLeaf: ls.ID,
-		DstLeaf: dstLeaf,
-		Ctrl:    true,
-		Hdr:     hdr,
-		SentAt:  now,
-	}
+	p := ls.net.pool.Get()
+	p.SrcLeaf = ls.ID
+	p.DstLeaf = dstLeaf
+	p.Ctrl = true
+	p.Hdr = hdr
+	p.SentAt = now
 	ls.uplinks[up].Send(p, now)
 }

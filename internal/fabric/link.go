@@ -15,6 +15,7 @@ type Link struct {
 	Name string
 
 	eng   *sim.Engine
+	pool  *PacketPool
 	rate  float64 // bits per second
 	prop  sim.Time
 	dst   node
@@ -25,6 +26,16 @@ type Link struct {
 	queue []*Packet
 	qlen  int // queued bytes
 	busy  bool
+
+	// The packet being serialized and the FIFO of packets in propagation.
+	// Tx-done and delivery events are bound method values created once at
+	// construction, so the per-packet hot path schedules no closures.
+	txPkt     *Packet
+	txSize    int
+	inflight  []*Packet
+	infHead   int
+	txDoneFn  sim.Event
+	deliverFn sim.Event
 
 	dre        *core.DRE // nil on access links
 	pathMetric core.PathMetric
@@ -44,6 +55,9 @@ type LinkConfig struct {
 	BufBytes  int
 	Fabric    bool // carries overlay traffic: encap overhead, DRE, CE marking
 	Params    core.Params
+	// Pool, when set, receives packets the link drops. Links built by
+	// NewNetwork share the network's pool.
+	Pool *PacketPool
 }
 
 // NewLink creates a link delivering to dst. Fabric links get a DRE sized to
@@ -58,6 +72,7 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst node) *Link {
 	l := &Link{
 		Name: cfg.Name,
 		eng:  eng,
+		pool: cfg.Pool,
 		rate: cfg.RateBps,
 		prop: cfg.PropDelay,
 		dst:  dst,
@@ -65,6 +80,8 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst node) *Link {
 		up:   true,
 		maxQ: cfg.BufBytes,
 	}
+	l.txDoneFn = l.txDone
+	l.deliverFn = l.deliver
 	if cfg.Fabric {
 		l.dre = NewLinkDRE(cfg.RateBps, cfg.Params)
 		l.pathMetric = cfg.Params.PathMetric
@@ -90,8 +107,8 @@ func (l *Link) SetUp(up bool) {
 	l.up = up
 	if !up {
 		for _, p := range l.queue[l.qhead:] {
-			_ = p
 			l.Drops++
+			l.pool.Put(p)
 		}
 		l.queue = l.queue[:0]
 		l.qhead = 0
@@ -131,12 +148,14 @@ func (l *Link) Send(p *Packet, now sim.Time) {
 	if !l.up {
 		l.Drops++
 		l.DropBytes += uint64(l.wireSize(p))
+		l.pool.Put(p)
 		return
 	}
 	if l.busy {
 		if l.qlen+l.wireSize(p) > l.maxQ {
 			l.Drops++
 			l.DropBytes += uint64(l.wireSize(p))
+			l.pool.Put(p)
 			return
 		}
 		l.queue = append(l.queue, p)
@@ -158,17 +177,40 @@ func (l *Link) transmit(p *Packet, now sim.Time) {
 		p.Hdr.CE = core.MarkCE(l.pathMetric, p.Hdr.CE, l.dre.Quantized())
 		l.dre.Add(size)
 	}
+	l.txPkt, l.txSize = p, size
 	serialization := sim.Time(float64(size) * 8 / l.rate * float64(sim.Second))
-	l.eng.At(now+serialization, func(txDone sim.Time) {
-		l.TxPackets++
-		l.TxBytes += uint64(size)
-		if l.up {
-			l.eng.At(txDone+l.prop, func(arr sim.Time) {
-				l.dst.handle(p, l, arr)
-			})
-		}
-		l.next(txDone)
-	})
+	l.eng.At(now+serialization, l.txDoneFn)
+}
+
+func (l *Link) txDone(now sim.Time) {
+	p, size := l.txPkt, l.txSize
+	l.txPkt = nil
+	l.TxPackets++
+	l.TxBytes += uint64(size)
+	if l.up {
+		// Delivery events for this link all share l.deliverFn; the inflight
+		// FIFO maps each firing back to its packet. That pairing is sound
+		// because serialization keeps tx-done times strictly increasing,
+		// propagation delay is constant, and the engine breaks time ties in
+		// scheduling order.
+		l.inflight = append(l.inflight, p)
+		l.eng.At(now+l.prop, l.deliverFn)
+	} else {
+		l.pool.Put(p)
+	}
+	l.next(now)
+}
+
+func (l *Link) deliver(now sim.Time) {
+	p := l.inflight[l.infHead]
+	l.inflight[l.infHead] = nil
+	l.infHead++
+	if l.infHead > 32 && l.infHead*2 >= len(l.inflight) {
+		n := copy(l.inflight, l.inflight[l.infHead:])
+		l.inflight = l.inflight[:n]
+		l.infHead = 0
+	}
+	l.dst.handle(p, l, now)
 }
 
 func (l *Link) next(now sim.Time) {

@@ -150,7 +150,12 @@ type Network struct {
 
 	fabricLinks []*Link
 	rng         *sim.Rand
+	pool        *PacketPool
 }
+
+// Pool returns the network's packet pool. Transports normally allocate via
+// Host.NewPacket; the accessor exists for stats and tests.
+func (n *Network) Pool() *PacketPool { return n.pool }
 
 // NewNetwork builds the fabric described by cfg on the given engine and
 // starts the DRE decay and flowlet sweep tickers.
@@ -159,7 +164,7 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 		return nil, err
 	}
 	cfg = cfg.WithDefaults()
-	n := &Network{Engine: eng, Cfg: cfg, rng: sim.NewRand(cfg.Seed)}
+	n := &Network{Engine: eng, Cfg: cfg, rng: sim.NewRand(cfg.Seed), pool: &PacketPool{}}
 
 	// Hosts and leaves.
 	for leaf := 0; leaf < cfg.NumLeaves; leaf++ {
@@ -167,13 +172,14 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 		n.Leaves = append(n.Leaves, ls)
 		for i := 0; i < cfg.HostsPerLeaf; i++ {
 			hostID := leaf*cfg.HostsPerLeaf + i
-			h := newHost(hostID, leaf)
+			h := newHost(hostID, leaf, n.pool)
 			h.out = NewLink(eng, LinkConfig{
 				Name:      fmt.Sprintf("h%d->l%d", hostID, leaf),
 				RateBps:   cfg.AccessRateBps,
 				PropDelay: cfg.AccessPropDelay,
 				BufBytes:  cfg.HostBufBytes,
 				Params:    cfg.Params,
+				Pool:      n.pool,
 			}, ls)
 			down := NewLink(eng, LinkConfig{
 				Name:      fmt.Sprintf("l%d->h%d", leaf, hostID),
@@ -181,6 +187,7 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 				PropDelay: cfg.AccessPropDelay,
 				BufBytes:  cfg.EdgeBufBytes,
 				Params:    cfg.Params,
+				Pool:      n.pool,
 			}, h)
 			ls.hostIndex[hostID] = len(ls.downlinks)
 			ls.downlinks = append(ls.downlinks, down)
@@ -190,7 +197,7 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 
 	// Spines and fabric links.
 	for s := 0; s < cfg.NumSpines; s++ {
-		ss := &SpineSwitch{ID: s, down: make([][]*Link, cfg.NumLeaves)}
+		ss := &SpineSwitch{ID: s, pool: n.pool, down: make([][]*Link, cfg.NumLeaves)}
 		n.Spines = append(n.Spines, ss)
 	}
 	for leaf := 0; leaf < cfg.NumLeaves; leaf++ {
@@ -211,6 +218,7 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 					BufBytes:  cfg.FabricBufBytes,
 					Fabric:    true,
 					Params:    cfg.Params,
+					Pool:      n.pool,
 				}, ss)
 				down := NewLink(eng, LinkConfig{
 					Name:      fmt.Sprintf("s%d.%d->l%d", s, k, leaf),
@@ -219,6 +227,7 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 					BufBytes:  cfg.FabricBufBytes,
 					Fabric:    true,
 					Params:    cfg.Params,
+					Pool:      n.pool,
 				}, ls)
 				ls.uplinks = append(ls.uplinks, up)
 				ls.uplinkSpine = append(ls.uplinkSpine, s)

@@ -43,10 +43,12 @@ type Packet struct {
 	Payload int   // payload bytes carried (0 for pure ACKs)
 	IsAck   bool
 	AckNo   int64 // cumulative ACK (valid when IsAck)
-	// Sack carries up to three selective-acknowledgement ranges
+	// Sack carries up to SackN selective-acknowledgement ranges
 	// [start, end) above AckNo, mirroring the TCP SACK option's 3-block
-	// limit when a timestamp option is present.
-	Sack [][2]int64
+	// limit when a timestamp option is present. A fixed array keeps pure
+	// ACKs allocation-free on the hot path.
+	Sack  [3][2]int64
+	SackN int
 	// EchoTS carries the send timestamp for RTT measurement, echoing the
 	// data packet's SentAt in the ACK.
 	EchoTS sim.Time
@@ -61,6 +63,10 @@ type Packet struct {
 
 	// Measurement.
 	SentAt sim.Time
+
+	// pooled marks packets allocated from a PacketPool; only those are
+	// recycled on release (see PacketPool).
+	pooled bool
 }
 
 // WireSize returns the packet's size on an access link in bytes.

@@ -1,0 +1,48 @@
+package fabric
+
+// PacketPool recycles Packet objects within one engine's fabric. The
+// simulator is single-threaded per engine, so the pool needs no locking;
+// parallelism across experiments uses one network (and pool) per goroutine.
+//
+// Ownership rule: whoever terminates a packet's journey releases it —
+// the host on delivery, the link on a drop, the leaf/spine on a routing
+// drop, and the destination TEP for control packets. Transports allocate
+// via Host.NewPacket and must not touch a packet after handing it to Send.
+// Packets constructed directly (tests, external drivers) are ignored by
+// Put and stay garbage-collected, so foreign pointers are never recycled
+// under their owner's feet.
+type PacketPool struct {
+	free []*Packet
+
+	// Allocs counts pool misses (fresh heap allocations); Recycled counts
+	// Gets served from the free list. Exported via counters for tests.
+	Allocs   uint64
+	Recycled uint64
+}
+
+// Get returns a zeroed pool-owned packet.
+func (pp *PacketPool) Get() *Packet {
+	if pp == nil {
+		return &Packet{}
+	}
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		pp.Recycled++
+		p.pooled = true
+		return p
+	}
+	pp.Allocs++
+	return &Packet{pooled: true}
+}
+
+// Put releases a packet back to the pool. Packets not allocated by Get
+// (or already released) are left alone.
+func (pp *PacketPool) Put(p *Packet) {
+	if pp == nil || p == nil || !p.pooled {
+		return
+	}
+	*p = Packet{}
+	pp.free = append(pp.free, p)
+}

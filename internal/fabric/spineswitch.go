@@ -9,7 +9,8 @@ import "conga/internal/sim"
 // ECMP hashing"). Each spine downlink carries a DRE, and transiting packets
 // pick up its congestion metric in their CE field (done in Link).
 type SpineSwitch struct {
-	ID int
+	ID   int
+	pool *PacketPool
 
 	// down[leaf] lists the parallel links toward that leaf.
 	down [][]*Link
@@ -26,6 +27,7 @@ func (ss *SpineSwitch) handle(p *Packet, _ *Link, now sim.Time) {
 	idx := hashOverUp(links, flowHash(p))
 	if idx < 0 {
 		ss.NoRouteDrops++
+		ss.pool.Put(p)
 		return
 	}
 	links[idx].Send(p, now)

@@ -1,0 +1,62 @@
+// Package runner fans independent experiment configurations across a
+// bounded worker pool. Each simulation engine is single-threaded and
+// deterministic for a given seed, so experiments parallelize perfectly:
+// one engine per goroutine, no shared mutable state, results collected in
+// input order. This is what lets the figure sweeps in cmd/congabench use
+// every core without perturbing any individual run's outcome.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn over every item on up to workers goroutines and returns the
+// results in input order. workers <= 0 uses GOMAXPROCS. Every item is
+// processed even when some fail; the returned error is the one from the
+// lowest-indexed failing item, so the error surfaced does not depend on
+// goroutine scheduling.
+func Map[C, R any](workers int, items []C, fn func(C) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	if workers <= 1 {
+		for i, it := range items {
+			results[i], errs[i] = fn(it)
+		}
+		return results, firstError(errs)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				results[i], errs[i] = fn(items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results, firstError(errs)
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByInput(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := Map(8, items, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapRunsEveryItemOnce(t *testing.T) {
+	var calls [64]atomic.Int32
+	items := make([]int, len(calls))
+	for i := range items {
+		items[i] = i
+	}
+	_, err := Map(0, items, func(x int) (struct{}, error) {
+		calls[x].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Fatalf("item %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	// The surfaced error must not depend on which goroutine finishes first.
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	want := errors.New("boom-2")
+	_, err := Map(4, items, func(x int) (int, error) {
+		if x == 5 {
+			return 0, errors.New("boom-5")
+		}
+		if x == 2 {
+			return 0, want
+		}
+		return x, nil
+	})
+	if err == nil || err.Error() != "boom-2" {
+		t.Fatalf("err = %v, want boom-2", err)
+	}
+}
+
+func TestMapProcessesAllDespiteErrors(t *testing.T) {
+	var done atomic.Int32
+	items := make([]int, 32)
+	_, err := Map(4, items, func(int) (int, error) {
+		done.Add(1)
+		return 0, fmt.Errorf("always")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if done.Load() != 32 {
+		t.Fatalf("ran %d items, want 32", done.Load())
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got, err := Map(4, nil, func(int) (int, error) { return 1, nil }); err != nil || len(got) != 0 {
+		t.Fatalf("empty: got %v, %v", got, err)
+	}
+	got, err := Map(4, []int{7}, func(x int) (int, error) { return x + 1, nil })
+	if err != nil || len(got) != 1 || got[0] != 8 {
+		t.Fatalf("single: got %v, %v", got, err)
+	}
+}
+
+func TestMapSequentialFallbackMatchesParallel(t *testing.T) {
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i * 3
+	}
+	f := func(x int) (int, error) { return x + 1, nil }
+	seq, err1 := Map(1, items, f)
+	par, err2 := Map(8, items, f)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, seq[i], par[i])
+		}
+	}
+}

@@ -7,11 +7,16 @@
 //
 // The engine is intentionally single-threaded: datacenter fabric experiments
 // are run one engine per goroutine, and parallelism is obtained by running
-// independent experiments concurrently.
+// independent experiments concurrently (see internal/runner).
+//
+// The event queue is a concrete 4-ary min-heap specialized to
+// *scheduledEvent — no container/heap interface dispatch — and executed or
+// cancelled events are recycled through a per-engine free list, so the
+// steady-state hot path (schedule → run → recycle) does not allocate.
+// Handles stay safe across recycling via a per-event generation counter.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -47,78 +52,56 @@ func (t Time) String() string { return time.Duration(t).String() }
 // built by rescheduling from within the callback (see Ticker).
 type Event func(now Time)
 
+// scheduledEvent is pooled: after an event runs or is cancelled the engine
+// bumps gen and pushes the object onto its free list, so outstanding
+// EventHandles (which captured the old gen) can never act on the recycled
+// slot's next occupant.
 type scheduledEvent struct {
 	at     Time
 	seq    uint64 // insertion order; breaks ties deterministically
 	fn     Event
-	eng    *Engine
-	dead   bool // cancelled
-	daemon bool // housekeeping; does not keep Run(MaxTime) alive
-	idx    int  // heap index, maintained by eventQueue
+	gen    uint64 // incremented on recycle; invalidates stale handles
+	daemon bool   // housekeeping; does not keep Run(MaxTime) alive
+	idx    int    // heap index; -1 when not queued
 }
 
 // EventHandle identifies a scheduled event so it can be cancelled.
 // The zero value is not a valid handle.
 type EventHandle struct {
-	ev *scheduledEvent
+	eng *Engine
+	ev  *scheduledEvent
+	gen uint64
 }
 
-// Cancel prevents the event from running. Cancelling an already-executed or
-// already-cancelled event is a no-op. It reports whether the event was still
-// pending.
+// Cancel prevents the event from running. The event is removed from the
+// queue immediately — its closure is dropped and the slot recycled, so a
+// cancelled event retains no memory until its time arrives. Cancelling an
+// already-executed or already-cancelled event is a no-op. It reports whether
+// the event was still pending.
 func (h EventHandle) Cancel() bool {
-	if h.ev == nil || h.ev.dead {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.idx < 0 {
 		return false
 	}
-	h.ev.dead = true
-	h.ev.fn = nil
-	if !h.ev.daemon && h.ev.eng != nil {
-		h.ev.eng.live--
+	if !ev.daemon {
+		h.eng.live--
 	}
+	h.eng.heapRemove(ev.idx)
+	h.eng.recycle(ev)
 	return true
 }
 
 // Pending reports whether the event is still scheduled to run.
-func (h EventHandle) Pending() bool { return h.ev != nil && !h.ev.dead && h.ev.idx >= 0 }
-
-type eventQueue []*scheduledEvent
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*scheduledEvent)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
+func (h EventHandle) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.idx >= 0
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use; New
 // is provided for symmetry with the rest of the repository.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   []*scheduledEvent // 4-ary min-heap on (at, seq)
+	free    []*scheduledEvent // recycled event objects
 	nextSeq uint64
 	live    int // pending non-daemon events
 	// executed counts events that have run, for diagnostics and tests.
@@ -135,8 +118,8 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events that have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of events waiting in the queue, including
-// cancelled events that have not yet been discarded.
+// Pending returns the number of events waiting in the queue. Cancelled
+// events are removed eagerly, so they never linger in this count.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
@@ -158,13 +141,21 @@ func (e *Engine) schedule(t Time, fn Event, daemon bool) EventHandle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &scheduledEvent{at: t, seq: e.nextSeq, fn: fn, eng: e, daemon: daemon}
+	var ev *scheduledEvent
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &scheduledEvent{}
+	}
+	ev.at, ev.seq, ev.fn, ev.daemon = t, e.nextSeq, fn, daemon
 	e.nextSeq++
 	if !daemon {
 		e.live++
 	}
-	heap.Push(&e.queue, ev)
-	return EventHandle{ev: ev}
+	e.heapPush(ev)
+	return EventHandle{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d ticks from now.
@@ -173,6 +164,14 @@ func (e *Engine) After(d Time, fn Event) EventHandle {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
+}
+
+// recycle returns an executed or cancelled event to the free list,
+// invalidating any handles that still point at it.
+func (e *Engine) recycle(ev *scheduledEvent) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Stop makes Run return after the current event completes.
@@ -196,18 +195,17 @@ func (e *Engine) Run(until Time) Time {
 			e.now = until
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		if next.dead {
-			continue
-		}
+		e.heapPopRoot()
 		e.now = next.at
 		fn := next.fn
-		next.fn = nil
-		next.dead = true
 		if !next.daemon {
 			e.live--
 		}
 		e.executed++
+		// Recycle before running: the handle's generation no longer
+		// matches, so fn cancelling its own (spent) handle is a no-op, and
+		// events fn schedules can reuse the slot immediately.
+		e.recycle(next)
 		fn(e.now)
 	}
 	// When the queue drains before until, advance the clock to until so
@@ -220,6 +218,105 @@ func (e *Engine) Run(until Time) Time {
 	return e.now
 }
 
+// --- 4-ary min-heap on (at, seq) ---
+//
+// A 4-ary heap halves the tree depth of a binary heap: sift-down compares
+// more children per level but touches half as many cache lines, which wins
+// for the push/pop-dominated access pattern of a simulator event loop.
+
+func eventLess(a, b *scheduledEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev *scheduledEvent) {
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue)-1, ev)
+}
+
+// heapPopRoot removes the minimum event. The caller already holds e.queue[0].
+func (e *Engine) heapPopRoot() {
+	q := e.queue
+	q[0].idx = -1
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0, last)
+	}
+}
+
+// heapRemove deletes the event at index i, restoring heap order.
+func (e *Engine) heapRemove(i int) {
+	q := e.queue
+	q[i].idx = -1
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if i == n {
+		return
+	}
+	if i > 0 && eventLess(last, q[(i-1)>>2]) {
+		e.siftUp(i, last)
+	} else {
+		e.siftDown(i, last)
+	}
+}
+
+// siftUp places ev at index i or above. The slot at i is treated as a hole:
+// ev is only written once its final position is known.
+func (e *Engine) siftUp(i int, ev *scheduledEvent) {
+	q := e.queue
+	for i > 0 {
+		parent := (i - 1) >> 2
+		pe := q[parent]
+		if !eventLess(ev, pe) {
+			break
+		}
+		q[i] = pe
+		pe.idx = i
+		i = parent
+	}
+	q[i] = ev
+	ev.idx = i
+}
+
+// siftDown places ev at index i or below.
+func (e *Engine) siftDown(i int, ev *scheduledEvent) {
+	q := e.queue
+	n := len(q)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Find the smallest of up to four children.
+		m := c
+		best := q[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(q[j], best) {
+				m, best = j, q[j]
+			}
+		}
+		if !eventLess(best, ev) {
+			break
+		}
+		q[i] = best
+		best.idx = i
+		i = m
+	}
+	q[i] = ev
+	ev.idx = i
+}
+
 // Ticker invokes fn every period until cancelled. It is the building block
 // for the DRE decay timer and the flowlet age sweep.
 type Ticker struct {
@@ -227,6 +324,7 @@ type Ticker struct {
 	period Time
 	fn     Event
 	handle EventHandle
+	tickFn Event // bound once so rescheduling does not allocate
 	done   bool
 }
 
@@ -237,7 +335,8 @@ func NewTicker(e *Engine, period Time, fn Event) *Ticker {
 		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.handle = e.AtDaemon(e.now+period, t.tick)
+	t.tickFn = t.tick
+	t.handle = e.AtDaemon(e.now+period, t.tickFn)
 	return t
 }
 
@@ -247,7 +346,7 @@ func (t *Ticker) tick(now Time) {
 	}
 	t.fn(now)
 	if !t.done { // fn may have stopped the ticker
-		t.handle = t.engine.AtDaemon(now+t.period, t.tick)
+		t.handle = t.engine.AtDaemon(now+t.period, t.tickFn)
 	}
 }
 

@@ -130,6 +130,89 @@ func TestEventHandleCancelAfterRunIsNoop(t *testing.T) {
 	}
 }
 
+func TestCancelRemovesEventFromQueueImmediately(t *testing.T) {
+	e := New()
+	var hs []EventHandle
+	for i := 0; i < 10; i++ {
+		hs = append(hs, e.At(Time(100+i), func(Time) {}))
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending() = %d, want 10", e.Pending())
+	}
+	// A cancelled event must leave the queue at once — not linger (holding
+	// its closure live) until its scheduled time arrives.
+	hs[3].Cancel()
+	hs[7].Cancel()
+	if e.Pending() != 8 {
+		t.Fatalf("Pending() = %d after two cancels, want 8", e.Pending())
+	}
+	e.Run(MaxTime)
+	if e.Executed() != 8 {
+		t.Fatalf("executed %d, want 8", e.Executed())
+	}
+}
+
+func TestStaleHandleCannotTouchRecycledEvent(t *testing.T) {
+	e := New()
+	h := e.At(10, func(Time) {})
+	e.Run(MaxTime)
+	// The executed event's slot is recycled; this new event may reuse it.
+	ran := false
+	e.At(20, func(Time) { ran = true })
+	if h.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if h.Cancel() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	e.Run(MaxTime)
+	if !ran {
+		t.Fatal("event scheduled after recycle did not run")
+	}
+}
+
+func TestRandomizedScheduleCancelKeepsOrder(t *testing.T) {
+	e := New()
+	r := NewRand(7)
+	type rec struct {
+		at        Time
+		seq       int
+		cancelled bool
+	}
+	var want []rec
+	var hs []EventHandle
+	var got []int
+	for i := 0; i < 2000; i++ {
+		at := Time(r.Intn(500))
+		i := i
+		want = append(want, rec{at: at, seq: i})
+		hs = append(hs, e.At(at, func(Time) { got = append(got, i) }))
+	}
+	for i := 0; i < 700; i++ {
+		k := r.Intn(len(hs))
+		if hs[k].Cancel() {
+			want[k].cancelled = true
+		}
+	}
+	e.Run(MaxTime)
+	var expect []int
+	for at := Time(0); at < 500; at++ {
+		for _, w := range want {
+			if w.at == at && !w.cancelled {
+				expect = append(expect, w.seq)
+			}
+		}
+	}
+	if len(got) != len(expect) {
+		t.Fatalf("ran %d events, want %d", len(got), len(expect))
+	}
+	for i := range expect {
+		if got[i] != expect[i] {
+			t.Fatalf("execution order diverged at %d: got %d, want %d", i, got[i], expect[i])
+		}
+	}
+}
+
 func TestEngineStop(t *testing.T) {
 	e := New()
 	ran := 0

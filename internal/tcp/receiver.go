@@ -113,16 +113,15 @@ func (r *Receiver) drainOOO() {
 
 func (r *Receiver) sendAck(data *fabric.Packet, recent int, now sim.Time) {
 	r.AcksOut++
-	ack := &fabric.Packet{
-		FlowID:  data.FlowID, // same 5-tuple identity, reverse direction
-		DstHost: data.SrcHost,
-		SrcPort: r.port,
-		DstPort: data.SrcPort,
-		IsAck:   true,
-		AckNo:   r.rcvNxt,
-		EchoTS:  data.SentAt,
-		SentAt:  now,
-	}
+	ack := r.host.NewPacket()
+	ack.FlowID = data.FlowID // same 5-tuple identity, reverse direction
+	ack.DstHost = data.SrcHost
+	ack.SrcPort = r.port
+	ack.DstPort = data.SrcPort
+	ack.IsAck = true
+	ack.AckNo = r.rcvNxt
+	ack.EchoTS = data.SentAt
+	ack.SentAt = now
 	// SACK blocks (3-block limit, as with a timestamp option on the
 	// wire). Per RFC 2018 the first block reports the range containing
 	// the segment that triggered this ACK; the rest rotate through the
@@ -135,7 +134,8 @@ func (r *Receiver) sendAck(data *fabric.Packet, recent int, now sim.Time) {
 		}
 		for k := 0; k < n && k < 3; k++ {
 			iv := r.ooo[(start+k)%n]
-			ack.Sack = append(ack.Sack, [2]int64{iv.start, iv.end})
+			ack.Sack[ack.SackN] = [2]int64{iv.start, iv.end}
+			ack.SackN++
 		}
 	}
 	r.host.Send(ack, now)

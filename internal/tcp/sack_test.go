@@ -202,8 +202,14 @@ func TestSackCarriedOnWire(t *testing.T) {
 	eng, n := testNet(t, fabric.SchemeECMP)
 	r := NewReceiver(n.Host(0), 7100)
 	var lastSack [][2]int64
-	// Interpose: watch ACKs arriving back at a fake sender port.
-	n.Host(4).Bind(7101, recvProbe(func(p *fabric.Packet) { lastSack = p.Sack }))
+	// Interpose: watch ACKs arriving back at a fake sender port. The packet
+	// is recycled after delivery, so copy the blocks out.
+	n.Host(4).Bind(7101, recvProbe(func(p *fabric.Packet) {
+		lastSack = lastSack[:0]
+		for i := 0; i < p.SackN; i++ {
+			lastSack = append(lastSack, p.Sack[i])
+		}
+	}))
 	seg := func(seq int64, size int) *fabric.Packet {
 		return &fabric.Packet{FlowID: 2, SrcHost: 4, DstHost: 0, SrcPort: 7101, DstPort: 7100,
 			Seq: seq, Payload: size}

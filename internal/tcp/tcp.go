@@ -145,6 +145,7 @@ type Sender struct {
 	timer        sim.EventHandle
 	reorderTimer sim.EventHandle // deferred loss declaration (ReorderWindow)
 	lastRetx     sim.Time        // Karn: suppress samples older than this
+	onTimeoutFn  sim.Event       // bound once so arming the timer allocates nothing
 
 	// CAIncrease, when set, replaces the Reno additive increase during
 	// congestion avoidance. It receives the freshly acknowledged byte
@@ -181,6 +182,7 @@ func NewSender(eng *sim.Engine, host *fabric.Host, flowID uint64, dstHost, dstPo
 		rto:      cfg.InitRTO,
 		lastRetx: -1,
 	}
+	s.onTimeoutFn = s.onTimeout
 	host.Bind(s.srcPort, s)
 	return s
 }
@@ -281,15 +283,14 @@ func (s *Sender) trySend(now sim.Time) {
 }
 
 func (s *Sender) emit(seq int64, payload int, now sim.Time) {
-	p := &fabric.Packet{
-		FlowID:  s.flowID,
-		DstHost: s.dstHost,
-		SrcPort: s.srcPort,
-		DstPort: s.dstPort,
-		Seq:     seq,
-		Payload: payload,
-		SentAt:  now,
-	}
+	p := s.host.NewPacket()
+	p.FlowID = s.flowID
+	p.DstHost = s.dstHost
+	p.SrcPort = s.srcPort
+	p.DstPort = s.dstPort
+	p.Seq = seq
+	p.Payload = payload
+	p.SentAt = now
 	s.stats.SegmentsSent++
 	s.stats.BytesSent += uint64(payload)
 	s.host.Send(p, now)
@@ -301,7 +302,7 @@ func (s *Sender) armTimer(now sim.Time) {
 	if d > s.cfg.MaxRTO {
 		d = s.cfg.MaxRTO
 	}
-	s.timer = s.eng.At(now+d, s.onTimeout)
+	s.timer = s.eng.At(now+d, s.onTimeoutFn)
 }
 
 func (s *Sender) onTimeout(now sim.Time) {
@@ -341,8 +342,8 @@ func (s *Sender) Receive(p *fabric.Packet, now sim.Time) {
 	if !p.IsAck || s.freed {
 		return
 	}
-	for _, r := range p.Sack {
-		s.addSack(r[0], r[1])
+	for i := 0; i < p.SackN; i++ {
+		s.addSack(p.Sack[i][0], p.Sack[i][1])
 	}
 	ack := p.AckNo
 	if ack > s.sndUna {

@@ -1,0 +1,25 @@
+package conga
+
+import "conga/internal/runner"
+
+// Parallel experiment execution. Each run builds its own engine and
+// network, so runs share nothing and a fixed seed gives the same result
+// whether executed sequentially or concurrently; results come back in
+// config order. The figure sweeps in cmd/congabench are built on these.
+
+// RunFCTs executes each FCT experiment on its own engine across a
+// GOMAXPROCS-bounded worker pool and returns results in config order.
+func RunFCTs(cfgs []FCTConfig) ([]*FCTResult, error) {
+	return runner.Map(0, cfgs, RunFCT)
+}
+
+// RunIncasts executes Incast micro-benchmarks in parallel, results in
+// config order.
+func RunIncasts(cfgs []IncastConfig) ([]*IncastResult, error) {
+	return runner.Map(0, cfgs, RunIncast)
+}
+
+// RunHDFSTrials executes HDFS trials in parallel, results in config order.
+func RunHDFSTrials(cfgs []HDFSConfig) ([]*HDFSResult, error) {
+	return runner.Map(0, cfgs, RunHDFS)
+}

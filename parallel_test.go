@@ -1,0 +1,76 @@
+package conga
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"conga/internal/runner"
+)
+
+func detConfigs() []FCTConfig {
+	topo := Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 4, LinksPerSpine: 1,
+		AccessGbps: 10, FabricGbps: 10}
+	var cfgs []FCTConfig
+	for _, s := range []Scheme{SchemeECMP, SchemeCONGA} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			cfgs = append(cfgs, FCTConfig{
+				Topology: topo,
+				Scheme:   s,
+				Workload: WorkloadEnterprise,
+				Load:     0.5,
+				Duration: 10 * time.Millisecond,
+				MaxFlows: 80,
+				Seed:     seed,
+			})
+		}
+	}
+	return cfgs
+}
+
+// TestParallelRunsMatchSequential is the determinism regression test for
+// the experiment runner: each engine is single-threaded and seeded, so the
+// same config must produce byte-identical results whether it runs alone or
+// alongside five siblings on a worker pool.
+func TestParallelRunsMatchSequential(t *testing.T) {
+	cfgs := detConfigs()
+	seq := make([]*FCTResult, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := RunFCT(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = r
+	}
+	// Force multiple workers so the comparison is meaningful even on a
+	// single-core machine, where GOMAXPROCS would fall back to sequential.
+	par, err := runner.Map(4, cfgs, RunFCT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Fatalf("config %d (%s seed %d): parallel result differs from sequential\nseq: %+v\npar: %+v",
+				i, seq[i].Scheme, cfgs[i].Seed, seq[i], par[i])
+		}
+	}
+}
+
+// TestParallelRerunIsStable re-runs the same batch and requires identical
+// output — scheduling order across workers must never leak into results.
+func TestParallelRerunIsStable(t *testing.T) {
+	cfgs := detConfigs()
+	a, err := runner.Map(4, cfgs, RunFCT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runner.Map(2, cfgs, RunFCT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("config %d: two parallel runs disagree", i)
+		}
+	}
+}
