@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-engine check
+.PHONY: build test race vet bench bench-engine bench-quick check
 
 build:
 	$(GO) build ./...
@@ -24,5 +24,11 @@ bench:
 # Fast engine micro-benchmark (seconds) for hot-path iterations.
 bench-engine:
 	$(GO) test -bench BenchmarkEngineRaw -run '^$$' .
+
+# Quick smoke benchmark for CI and pre-commit: the engine hot path plus one
+# full figure experiment, a single iteration each. Catches gross perf or
+# allocation regressions in about a minute without the full artifact sweep.
+bench-quick:
+	$(GO) test -bench 'BenchmarkEngineRaw$$|BenchmarkFig09Enterprise$$' -benchtime 1x -run '^$$' .
 
 check: build vet test race

@@ -173,18 +173,26 @@ func runFCTFigure(quick bool, w conga.Workload) {
 			cfgs = append(cfgs, fctConfig(quick, s, w, load))
 		}
 	}
-	rs, err := conga.RunFCTs(cfgs)
-	check(err)
+	// Section (a) streams: configs are scheme-major and RunFCTsStream emits
+	// in config order, so each scheme's row prints the moment its last load
+	// finishes, while later schemes are still simulating.
 	results := map[string]map[float64]*conga.FCTResult{}
-	for i, r := range rs {
+	fmt.Println("(a) overall average FCT, normalized to optimal:")
+	printLoadHeader(loads)
+	_, err := conga.RunFCTsStream(cfgs, func(i int, r *conga.FCTResult, err error) {
+		if err != nil {
+			return // surfaced via the returned error below
+		}
 		name := conga.SchemeName(schemes[i/len(loads)])
 		if results[name] == nil {
 			results[name] = map[float64]*conga.FCTResult{}
 		}
 		results[name][loads[i%len(loads)]] = r
-	}
-	fmt.Println("(a) overall average FCT, normalized to optimal:")
-	printSeries(loads, results, func(r *conga.FCTResult) float64 { return r.NormFCT })
+		if i%len(loads) == len(loads)-1 {
+			printSeriesRow(name, loads, results[name], func(r *conga.FCTResult) float64 { return r.NormFCT })
+		}
+	})
+	check(err)
 	fmt.Println("(b) small flows (<100KB) avg FCT, normalized to ECMP:")
 	printSeriesVsECMP(loads, results, func(r *conga.FCTResult) float64 { return float64(r.SmallAvgFCT) })
 	fmt.Println("(c) large flows (>10MB) avg FCT, normalized to ECMP:")
@@ -193,22 +201,28 @@ func runFCTFigure(quick bool, w conga.Workload) {
 	printSeries(loads, results, func(r *conga.FCTResult) float64 { return float64(r.Completed) })
 }
 
-func printSeries(loads []float64, results map[string]map[float64]*conga.FCTResult, metric func(*conga.FCTResult) float64) {
+func printLoadHeader(loads []float64) {
 	fmt.Printf("  %-12s", "load:")
 	for _, l := range loads {
 		fmt.Printf(" %8.0f%%", l*100)
 	}
 	fmt.Println()
+}
+
+func printSeriesRow(name string, loads []float64, series map[float64]*conga.FCTResult, metric func(*conga.FCTResult) float64) {
+	fmt.Printf("  %-12s", name)
+	for _, l := range loads {
+		fmt.Printf(" %9.2f", metric(series[l]))
+	}
+	fmt.Println()
+}
+
+func printSeries(loads []float64, results map[string]map[float64]*conga.FCTResult, metric func(*conga.FCTResult) float64) {
+	printLoadHeader(loads)
 	for _, name := range []string{"ecmp", "conga-flow", "conga", "mptcp"} {
-		series, ok := results[name]
-		if !ok {
-			continue
+		if series, ok := results[name]; ok {
+			printSeriesRow(name, loads, series, metric)
 		}
-		fmt.Printf("  %-12s", name)
-		for _, l := range loads {
-			fmt.Printf(" %9.2f", metric(series[l]))
-		}
-		fmt.Println()
 	}
 }
 
@@ -360,11 +374,16 @@ func runFig13(quick bool) {
 		{"MPTCP (200ms)", conga.TransportMPTCP, 200 * time.Millisecond},
 		{"MPTCP (1ms)", conga.TransportMPTCP, time.Millisecond},
 	}
-	// One flat batch across mtu×setup×fanout; results come back in config
-	// order, so printing walks them with a cursor.
+	// One flat batch across mtu×setup×fanout. Configs are row-major
+	// (mtu, setup, fanout) and the streaming runner emits in config order,
+	// so each table row prints as soon as its last fan-in finishes.
+	mtus := []int{1500, 9000}
+	type rowKey struct{ mtu, setup int }
 	var cfgs []conga.IncastConfig
-	for _, mtu := range []int{1500, 9000} {
-		for _, setup := range setups {
+	var rowOf []rowKey
+	var fanOf []int
+	for mi, mtu := range mtus {
+		for si, setup := range setups {
 			for _, f := range fanouts {
 				if f >= topo.Leaves*topo.HostsPerLeaf {
 					continue
@@ -378,32 +397,45 @@ func runFig13(quick bool) {
 					Rounds:       rounds,
 					Timeout:      time.Duration(rounds) * 10 * time.Second,
 				})
+				rowOf = append(rowOf, rowKey{mi, si})
+				fanOf = append(fanOf, f)
 			}
 		}
 	}
-	rs, err := conga.RunIncasts(cfgs)
-	check(err)
-	next := 0
-	for _, mtu := range []int{1500, 9000} {
-		fmt.Printf("MTU %d — goodput %% of access link vs fan-in:\n", mtu)
-		fmt.Printf("  %-22s", "fanout:")
-		for _, f := range fanouts {
-			fmt.Printf(" %6d", f)
+	vals := map[rowKey]map[int]float64{}
+	headerDone := -1
+	_, err := conga.RunIncastsStream(cfgs, func(i int, r *conga.IncastResult, err error) {
+		if err != nil {
+			return // surfaced via the returned error below
 		}
-		fmt.Println()
-		for _, setup := range setups {
-			fmt.Printf("  %-22s", setup.name)
+		k := rowOf[i]
+		if vals[k] == nil {
+			vals[k] = map[int]float64{}
+		}
+		vals[k][fanOf[i]] = r.GoodputFraction
+		if i+1 < len(cfgs) && rowOf[i+1] == k {
+			return // row not complete yet
+		}
+		if k.mtu != headerDone {
+			fmt.Printf("MTU %d — goodput %% of access link vs fan-in:\n", mtus[k.mtu])
+			fmt.Printf("  %-22s", "fanout:")
 			for _, f := range fanouts {
-				if f >= topo.Leaves*topo.HostsPerLeaf {
-					fmt.Printf(" %6s", "-")
-					continue
-				}
-				fmt.Printf(" %5.0f%%", rs[next].GoodputFraction*100)
-				next++
+				fmt.Printf(" %6d", f)
 			}
 			fmt.Println()
+			headerDone = k.mtu
 		}
-	}
+		fmt.Printf("  %-22s", setups[k.setup].name)
+		for _, f := range fanouts {
+			if v, ok := vals[k][f]; ok {
+				fmt.Printf(" %5.0f%%", v*100)
+			} else {
+				fmt.Printf(" %6s", "-")
+			}
+		}
+		fmt.Println()
+	})
+	check(err)
 	fmt.Println("Paper shape: MPTCP collapses at high fan-in (worst with jumbo frames); CONGA+TCP stays high.")
 }
 
@@ -442,13 +474,22 @@ func runFig14(quick bool) {
 				})
 			}
 		}
-		rs, err := conga.RunHDFSTrials(cfgs)
-		check(err)
-		for i, s := range schemes {
-			fmt.Printf("  %-8s", conga.SchemeName(s))
+		// Configs are scheme-major, so each scheme's row streams out as
+		// soon as its last trial completes.
+		secs := make([]float64, len(cfgs))
+		_, err := conga.RunHDFSTrialsStream(cfgs, func(i int, r *conga.HDFSResult, err error) {
+			if err != nil {
+				return // surfaced via the returned error below
+			}
+			secs[i] = r.JobCompletion.Seconds()
+			if i%trials != trials-1 {
+				return
+			}
+			s := i / trials
+			fmt.Printf("  %-8s", conga.SchemeName(schemes[s]))
 			var sum, worst float64
 			for trial := 0; trial < trials; trial++ {
-				sec := rs[i*trials+trial].JobCompletion.Seconds()
+				sec := secs[s*trials+trial]
 				sum += sec
 				if sec > worst {
 					worst = sec
@@ -456,7 +497,8 @@ func runFig14(quick bool) {
 				fmt.Printf(" %6.2f", sec)
 			}
 			fmt.Printf("   | mean %.2f worst %.2f\n", sum/float64(trials), worst)
-		}
+		})
+		check(err)
 	}
 	fmt.Println("Paper shape: failure ≈ doubles ECMP job times; CONGA nearly unaffected; MPTCP volatile.")
 }

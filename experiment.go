@@ -214,7 +214,7 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		dist = cfg.Workload.Dist()
 	}
 
-	rec := &stats.FCTRecorder{}
+	rec := stats.NewFCTRecorder(cfg.MaxFlows)
 	var retx, timeouts uint64
 	tcpCfg := cfg.Transport.tcpConfig()
 	mpCfg := mptcp.Config{Subflows: cfg.Transport.Subflows, TCP: tcpCfg, ChunkSegments: 4}
@@ -259,14 +259,23 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		return nil, err
 	}
 
+	// The samplers tick at fixed periods over a known horizon, so their
+	// buffers can be sized exactly instead of growing during the run.
+	horizon := sim.Duration(cfg.Duration) + sim.Duration(cfg.DrainTimeout)
 	var imb *stats.ImbalanceSampler
 	if cfg.CollectImbalance {
 		imb = stats.NewImbalanceSampler(net.Leaves[0].Uplinks(), 10*sim.Millisecond)
+		imb.Values.Reserve(int(horizon / (10 * sim.Millisecond)))
 		imb.Start(eng)
 	}
 	var qs *stats.QueueSampler
 	if cfg.CollectQueues {
 		qs = stats.NewQueueSampler(net.FabricLinks(), 100*sim.Microsecond)
+		samples := int(horizon / (100 * sim.Microsecond))
+		qs.All.Reserve(samples * len(net.FabricLinks()))
+		for i := range qs.PerLink {
+			qs.PerLink[i].Reserve(samples)
+		}
 		qs.Start(eng)
 	}
 

@@ -40,9 +40,28 @@ func NewDRE(capacityBps float64, p Params) *DRE {
 // Add records the transmission of a packet of the given wire size in bytes.
 func (d *DRE) Add(bytes int) { d.x += float64(bytes) }
 
+// dreEpsilon is the register value, in bytes, below which Decay snaps to
+// exactly zero. Pure multiplicative decay only approaches zero, which would
+// keep an idle link on the fabric's decay dirty-list forever; snapping lets
+// the ticker drop it. With α = 1/8 a register holding one 9 KB packet
+// reaches the threshold after ~170 decay periods (≈ 3.5 ms at the default
+// TDRE), long after the value stopped mattering: the smallest nonzero
+// quantized metric needs X ≥ C·τ/2^Q, which is ≥ tens of kilobytes for any
+// realistic link.
+const dreEpsilon = 1e-6
+
 // Decay applies the periodic multiplicative decrement X ← X·(1−α). The
 // owning switch calls it every TDRE.
-func (d *DRE) Decay() { d.x *= 1 - d.alpha }
+func (d *DRE) Decay() {
+	d.x *= 1 - d.alpha
+	if d.x < dreEpsilon {
+		d.x = 0
+	}
+}
+
+// Active reports whether the register is nonzero, i.e. whether future
+// Decay calls would still change it.
+func (d *DRE) Active() bool { return d.x != 0 }
 
 // X returns the current register value in bytes, exposed for tests and for
 // debugging counters.

@@ -20,9 +20,15 @@ type FlowletTable struct {
 	valid []bool
 	age   []bool
 	last  []sim.Time // GapModeTimestamp only
-	mode  GapMode
-	tfl   sim.Time
-	mask  uint64 // len(port)-1 when the size is a power of two, else 0
+	// GapModeAgeBit keeps an index list of entries that may need sweeping,
+	// so Sweep walks the handful of live flowlets instead of all 64K slots.
+	// Invariant: valid[i] ⇒ listed[i]; listed[i] is cleared only when the
+	// sweep drops i from the list.
+	active []int32
+	listed []bool
+	mode   GapMode
+	tfl    sim.Time
+	mask   uint64 // len(port)-1 when the size is a power of two, else 0
 	// Expired counts entries invalidated by gap detection; Collisions is
 	// not observable (hash collisions are indistinguishable from flowlet
 	// reuse by design), but Installs and Hits support the concurrency
@@ -48,6 +54,7 @@ func NewFlowletTable(p Params) *FlowletTable {
 	}
 	if p.GapMode == GapModeAgeBit {
 		t.age = make([]bool, n)
+		t.listed = make([]bool, n)
 	} else {
 		t.last = make([]sim.Time, n)
 	}
@@ -98,6 +105,10 @@ func (t *FlowletTable) Install(hash uint64, port int, now sim.Time) {
 	t.Installs++
 	if t.mode == GapModeAgeBit {
 		t.age[i] = false
+		if !t.listed[i] {
+			t.listed[i] = true
+			t.active = append(t.active, int32(i))
+		}
 	} else {
 		t.last[i] = now
 	}
@@ -111,17 +122,24 @@ func (t *FlowletTable) Sweep() {
 	if t.mode != GapModeAgeBit {
 		return
 	}
-	for i, v := range t.valid {
-		if !v {
+	// Only listed entries can be valid, so walking the active list visits
+	// every live flowlet; expired entries are compacted out in place.
+	kept := t.active[:0]
+	for _, i := range t.active {
+		if !t.valid[i] {
+			t.listed[i] = false
 			continue
 		}
 		if t.age[i] {
 			t.valid[i] = false
+			t.listed[i] = false
 			t.Expired++
 		} else {
 			t.age[i] = true
+			kept = append(kept, i)
 		}
 	}
+	t.active = kept
 }
 
 // Active returns the number of currently valid entries; §2.6.1's

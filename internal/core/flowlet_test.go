@@ -213,3 +213,34 @@ func BenchmarkFlowletSweep64K(b *testing.B) {
 		ft.Sweep()
 	}
 }
+
+// The incremental sweep drops expired entries from its active list; an
+// entry re-installed afterwards must be re-registered or it would never
+// expire again.
+func TestFlowletSweepReinstallAfterExpiry(t *testing.T) {
+	p := testParams()
+	p.GapMode = GapModeAgeBit
+	tbl := NewFlowletTable(p)
+	const hash = 12345
+	tbl.Install(hash, 3, 0)
+	tbl.Sweep() // sets age bit
+	tbl.Sweep() // expires
+	if _, active := tbl.Lookup(hash, 0); active {
+		t.Fatal("entry still active after two idle sweeps")
+	}
+	if tbl.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", tbl.Expired)
+	}
+	tbl.Install(hash, 5, 0)
+	if port, active := tbl.Lookup(hash, 0); !active || port != 5 {
+		t.Fatalf("reinstalled entry: port=%d active=%v, want 5 true", port, active)
+	}
+	tbl.Sweep()
+	tbl.Sweep()
+	if tbl.Expired != 2 {
+		t.Fatalf("Expired = %d after reinstall + two sweeps, want 2", tbl.Expired)
+	}
+	if tbl.Active() != 0 {
+		t.Fatalf("Active() = %d, want 0", tbl.Active())
+	}
+}

@@ -89,6 +89,7 @@ func (t *CongestionToLeaf) Metrics(destLeaf int, now sim.Time, dst []uint8) []ui
 type CongestionFromLeaf struct {
 	metrics [][]metricAge // [srcLeaf][lbTag]
 	changed [][]bool
+	nChg    []int // per-srcLeaf count of set changed bits, so HasChanged is O(1)
 	rr      []int // per-srcLeaf round-robin cursor
 	ageOut  sim.Time
 }
@@ -99,6 +100,7 @@ func NewCongestionFromLeaf(numLeaves, numTags int, p Params) *CongestionFromLeaf
 	t := &CongestionFromLeaf{
 		metrics: make([][]metricAge, numLeaves),
 		changed: make([][]bool, numLeaves),
+		nChg:    make([]int, numLeaves),
 		rr:      make([]int, numLeaves),
 		ageOut:  p.AgeTimeout,
 	}
@@ -113,8 +115,9 @@ func NewCongestionFromLeaf(numLeaves, numTags int, p Params) *CongestionFromLeaf
 // the given LBTag.
 func (t *CongestionFromLeaf) Observe(srcLeaf int, lbTag uint8, ce uint8, now sim.Time) {
 	m := &t.metrics[srcLeaf][lbTag]
-	if !m.touched || m.value != ce {
+	if (!m.touched || m.value != ce) && !t.changed[srcLeaf][lbTag] {
 		t.changed[srcLeaf][lbTag] = true
+		t.nChg[srcLeaf]++
 	}
 	m.set(ce, now)
 }
@@ -151,17 +154,16 @@ func (t *CongestionFromLeaf) PickFeedback(dstLeaf int, now sim.Time) (lbTag uint
 // since it was last fed back — i.e. whether feedback toward that leaf is
 // worth sending explicitly when no reverse traffic exists.
 func (t *CongestionFromLeaf) HasChanged(srcLeaf int) bool {
-	row := t.metrics[srcLeaf]
-	for j, ch := range t.changed[srcLeaf] {
-		if ch && row[j].touched {
-			return true
-		}
-	}
-	return false
+	// A changed bit is only ever set together with touched (Observe), so
+	// the counter alone answers the question.
+	return t.nChg[srcLeaf] > 0
 }
 
 func (t *CongestionFromLeaf) emit(leaf, j int, now sim.Time) (uint8, uint8, bool) {
 	t.rr[leaf] = (j + 1) % len(t.metrics[leaf])
-	t.changed[leaf][j] = false
+	if t.changed[leaf][j] {
+		t.changed[leaf][j] = false
+		t.nChg[leaf]--
+	}
 	return uint8(j), t.metrics[leaf][j].get(now, t.ageOut), true
 }

@@ -39,6 +39,13 @@ type Link struct {
 
 	dre        *core.DRE // nil on access links
 	pathMetric core.PathMetric
+	// The owning network's decay ticker only visits links with a nonzero
+	// DRE register. dreNotify (set by the network) registers this link on
+	// its dirty-list the first time traffic arrives after the register hit
+	// zero; dreListed is owned by the ticker, which clears it when it
+	// drops the drained link from the list.
+	dreNotify func(*Link)
+	dreListed bool
 
 	// Counters, exported for the stats collectors.
 	TxPackets uint64
@@ -176,6 +183,10 @@ func (l *Link) transmit(p *Packet, now sim.Time) {
 	if l.fab {
 		p.Hdr.CE = core.MarkCE(l.pathMetric, p.Hdr.CE, l.dre.Quantized())
 		l.dre.Add(size)
+		if !l.dreListed && l.dreNotify != nil {
+			l.dreListed = true
+			l.dreNotify(l)
+		}
 	}
 	l.txPkt, l.txSize = p, size
 	serialization := sim.Time(float64(size) * 8 / l.rate * float64(sim.Second))

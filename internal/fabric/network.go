@@ -149,9 +149,14 @@ type Network struct {
 	Spines []*SpineSwitch
 
 	fabricLinks []*Link
+	dreActive   []*Link // fabric links with a nonzero DRE register (decay dirty-list)
 	rng         *sim.Rand
 	pool        *PacketPool
 }
+
+// noteDREActive is each fabric link's dreNotify hook: it runs on the first
+// transmission after the link's register drained to zero.
+func (n *Network) noteDREActive(l *Link) { n.dreActive = append(n.dreActive, l) }
 
 // Pool returns the network's packet pool. Transports normally allocate via
 // Host.NewPacket; the accessor exists for stats and tests.
@@ -242,11 +247,28 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 		ls.strategy = n.newStrategy(ls)
 	}
 
-	// DRE decay: one ticker drives every fabric link's estimator.
+	// DRE decay: one ticker drives the estimators of links that carried
+	// traffic recently. Links register themselves on first transmission
+	// (Link.transmit) and are dropped once their register decays to zero,
+	// so an idle fabric does no per-link work per period.
+	notify := n.noteDREActive
+	for _, l := range n.fabricLinks {
+		l.dreNotify = notify
+	}
 	sim.NewTicker(eng, cfg.Params.TDRE, func(sim.Time) {
-		for _, l := range n.fabricLinks {
+		kept := n.dreActive[:0]
+		for _, l := range n.dreActive {
 			l.dre.Decay()
+			if l.dre.Active() {
+				kept = append(kept, l)
+			} else {
+				l.dreListed = false
+			}
 		}
+		for i := len(kept); i < len(n.dreActive); i++ {
+			n.dreActive[i] = nil
+		}
+		n.dreActive = kept
 	})
 	// Flowlet age sweep per leaf, every Tfl.
 	sim.NewTicker(eng, cfg.Params.Tfl, func(now sim.Time) {

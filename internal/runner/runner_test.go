@@ -103,3 +103,82 @@ func TestMapSequentialFallbackMatchesParallel(t *testing.T) {
 		}
 	}
 }
+
+func TestMapStreamEmitsInInputOrder(t *testing.T) {
+	items := make([]int, 200)
+	for i := range items {
+		items[i] = i
+	}
+	var emitted []int
+	// Skewed work: make early items slow so later items finish first and
+	// have to wait for the cursor.
+	got, err := MapStream(8, items, func(x int) (int, error) {
+		if x%10 == 0 {
+			n := 0
+			for i := 0; i < 100000; i++ {
+				n += i
+			}
+			_ = n
+		}
+		return x * 2, nil
+	}, func(i int, r int, err error) {
+		if err != nil {
+			t.Errorf("item %d: %v", i, err)
+		}
+		if r != i*2 {
+			t.Errorf("emit(%d) got result %d, want %d", i, r, i*2)
+		}
+		emitted = append(emitted, i) // serialized by MapStream's mutex
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != len(items) {
+		t.Fatalf("emitted %d items, want %d", len(emitted), len(items))
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("emission order broke at %d: got item %d", i, v)
+		}
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*2)
+		}
+	}
+}
+
+func TestMapStreamEmitsErrors(t *testing.T) {
+	items := []int{0, 1, 2, 3}
+	var gotErrs []int
+	_, err := MapStream(2, items, func(x int) (int, error) {
+		if x%2 == 1 {
+			return 0, fmt.Errorf("odd %d", x)
+		}
+		return x, nil
+	}, func(i int, _ int, err error) {
+		if err != nil {
+			gotErrs = append(gotErrs, i)
+		}
+	})
+	if err == nil || err.Error() != "odd 1" {
+		t.Fatalf("err = %v, want odd 1", err)
+	}
+	if len(gotErrs) != 2 || gotErrs[0] != 1 || gotErrs[1] != 3 {
+		t.Fatalf("error emissions = %v, want [1 3]", gotErrs)
+	}
+}
+
+func TestMapStreamSequentialFallback(t *testing.T) {
+	var emitted []int
+	got, err := MapStream(1, []int{5, 6, 7}, func(x int) (int, error) { return x, nil },
+		func(i int, _ int, _ error) { emitted = append(emitted, i) })
+	if err != nil || len(got) != 3 {
+		t.Fatal(got, err)
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("sequential emission order: %v", emitted)
+		}
+	}
+}

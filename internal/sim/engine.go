@@ -9,16 +9,24 @@
 // are run one engine per goroutine, and parallelism is obtained by running
 // independent experiments concurrently (see internal/runner).
 //
-// The event queue is a concrete 4-ary min-heap specialized to
-// *scheduledEvent — no container/heap interface dispatch — and executed or
-// cancelled events are recycled through a per-engine free list, so the
-// steady-state hot path (schedule → run → recycle) does not allocate.
-// Handles stay safe across recycling via a per-event generation counter.
+// The event queue is a hierarchical timing wheel: a near-horizon level of
+// 4096 one-tick slots (sized to the serialization + propagation band where
+// almost all packet events land), three cascading overflow levels covering
+// ~2 ms, ~1 s and ~9 min, and a 4-ary min-heap fallback for anything beyond
+// the wheel (or behind its base after a window advance). Push and pop are
+// O(1) on the wheel; the heap is consulted only by comparing its root
+// against the wheel minimum, so the (time, seq) execution order is exact no
+// matter where an event is stored. Executed or cancelled events are
+// recycled through a per-engine free list, so the steady-state hot path
+// (schedule → run → recycle) does not allocate. Handles stay safe across
+// recycling via a per-event generation counter. See DESIGN.md for the
+// bucket-sizing and determinism argument.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"time"
 )
 
@@ -52,18 +60,45 @@ func (t Time) String() string { return time.Duration(t).String() }
 // built by rescheduling from within the callback (see Ticker).
 type Event func(now Time)
 
+// Timing-wheel geometry. Level 0 has one-tick slots so a slot never mixes
+// timestamps: within one 4096-aligned block, slot index IS time order, and
+// FIFO order within a slot IS seq order (appends are seq-monotone, see the
+// cascade invariant in DESIGN.md). Each overflow level widens slots by
+// 2^lvlBits.
+const (
+	l0Bits  = 12 // 4096 one-tick slots ≈ 4.1 µs of near horizon
+	l0Size  = 1 << l0Bits
+	lvlBits = 9 // 512 slots per overflow level
+	lvlSize = 1 << lvlBits
+	numLvls = 3 // overflow levels: ~2.1 ms, ~1.07 s, ~9.2 min horizons
+)
+
+// Event location markers (scheduledEvent.lvl).
+const (
+	locNone = -1          // not queued
+	locFar  = numLvls + 1 // 4-ary fallback heap
+)
+
 // scheduledEvent is pooled: after an event runs or is cancelled the engine
 // bumps gen and pushes the object onto its free list, so outstanding
 // EventHandles (which captured the old gen) can never act on the recycled
 // slot's next occupant.
 type scheduledEvent struct {
-	at     Time
-	seq    uint64 // insertion order; breaks ties deterministically
-	fn     Event
-	gen    uint64 // incremented on recycle; invalidates stale handles
-	daemon bool   // housekeeping; does not keep Run(MaxTime) alive
-	idx    int    // heap index; -1 when not queued
+	at  Time
+	seq uint64 // insertion order; breaks ties deterministically
+	fn  Event
+	gen uint64 // incremented on recycle; invalidates stale handles
+
+	prev, next *scheduledEvent // intrusive wheel-bucket list links
+
+	idx    int32 // far-heap index (locFar only)
+	slot   int32 // wheel slot index (levels 0..numLvls)
+	lvl    int8  // locNone, 0..numLvls (wheel level), or locFar
+	daemon bool  // housekeeping; does not keep Run(MaxTime) alive
 }
+
+// bucket is one timing-wheel slot: a FIFO doubly-linked list of events.
+type bucket struct{ head, tail *scheduledEvent }
 
 // EventHandle identifies a scheduled event so it can be cancelled.
 // The zero value is not a valid handle.
@@ -80,33 +115,56 @@ type EventHandle struct {
 // the event was still pending.
 func (h EventHandle) Cancel() bool {
 	ev := h.ev
-	if ev == nil || ev.gen != h.gen || ev.idx < 0 {
+	if ev == nil || ev.gen != h.gen || ev.lvl == locNone {
 		return false
 	}
+	e := h.eng
 	if !ev.daemon {
-		h.eng.live--
+		e.live--
 	}
-	h.eng.heapRemove(ev.idx)
-	h.eng.recycle(ev)
+	e.remove(ev)
+	e.pending--
+	e.recycle(ev)
 	return true
 }
 
 // Pending reports whether the event is still scheduled to run.
 func (h EventHandle) Pending() bool {
-	return h.ev != nil && h.ev.gen == h.gen && h.ev.idx >= 0
+	return h.ev != nil && h.ev.gen == h.gen && h.ev.lvl != locNone
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use; New
 // is provided for symmetry with the rest of the repository.
 type Engine struct {
 	now     Time
-	queue   []*scheduledEvent // 4-ary min-heap on (at, seq)
-	free    []*scheduledEvent // recycled event objects
 	nextSeq uint64
 	live    int // pending non-daemon events
+	pending int // all pending events
 	// executed counts events that have run, for diagnostics and tests.
 	executed uint64
 	stopped  bool
+
+	// Timing wheel. winEnd[k] is the exclusive end of level k's window and
+	// is always aligned to level k's block size 2^(l0Bits + k·lvlBits), so
+	// each level's occupied slots live in a suffix of a single aligned
+	// block and slot index order equals time order. wheelCount tracks
+	// events resident in any wheel level; when it reaches zero the windows
+	// re-anchor at the current clock on the next insert.
+	l0       [l0Size]bucket
+	l0words  [l0Size / 64]uint64
+	l0sum    uint64 // bit i set ⇔ l0words[i] != 0
+	lvl      [numLvls][lvlSize]bucket
+	lvlWords [numLvls][lvlSize / 64]uint64
+	winEnd   [numLvls + 1]Time
+	wheel    int // events resident in the wheel
+
+	// far holds events beyond the wheel horizon — or (rarely) behind the
+	// wheel base after a cascade overshot a bounded Run — as a 4-ary
+	// min-heap on (at, seq). Its root is compared against the wheel
+	// minimum at every pop, so placement never affects execution order.
+	far []*scheduledEvent
+
+	free []*scheduledEvent // recycled event objects
 }
 
 // New returns an engine with the clock at zero.
@@ -120,7 +178,7 @@ func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of events waiting in the queue. Cancelled
 // events are removed eagerly, so they never linger in this count.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.pending }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug, and silently reordering time would corrupt every
@@ -154,8 +212,194 @@ func (e *Engine) schedule(t Time, fn Event, daemon bool) EventHandle {
 	if !daemon {
 		e.live++
 	}
-	e.heapPush(ev)
+	e.pending++
+	if e.wheel == 0 {
+		// The wheel is empty, so its windows can be re-anchored at the
+		// clock for free. This keeps the near horizon tight across
+		// drain/refill cycles and makes the zero-value Engine work.
+		e.anchor()
+	}
+	e.place(ev)
 	return EventHandle{eng: e, ev: ev, gen: ev.gen}
+}
+
+// anchor positions every wheel window so that level k's window is the
+// aligned block containing now. Only valid when the wheel is empty.
+func (e *Engine) anchor() {
+	for k := 0; k <= numLvls; k++ {
+		span := Time(1) << (l0Bits + k*lvlBits)
+		e.winEnd[k] = (e.now &^ (span - 1)) + span
+	}
+}
+
+// place routes ev into the wheel level whose window covers ev.at, or into
+// the far heap when no window does. It does not touch live/pending.
+func (e *Engine) place(ev *scheduledEvent) {
+	t := ev.at
+	switch {
+	case t < e.winEnd[0]-l0Size || t >= e.winEnd[numLvls]:
+		// Behind the level-0 block (a cascade overshot a bounded Run and
+		// the caller scheduled into the gap) or beyond the wheel horizon.
+		e.farPush(ev)
+		return
+	case t < e.winEnd[0]:
+		s := int32(t & (l0Size - 1))
+		ev.lvl, ev.slot = 0, s
+		b := &e.l0[s]
+		if b.tail == nil {
+			b.head = ev
+			ev.prev = nil
+			e.l0words[s>>6] |= 1 << (uint32(s) & 63)
+			e.l0sum |= 1 << (uint32(s) >> 6)
+		} else {
+			ev.prev = b.tail
+			b.tail.next = ev
+		}
+		b.tail = ev
+		ev.next = nil
+		e.wheel++
+		return
+	}
+	for k := 1; k <= numLvls; k++ {
+		if t < e.winEnd[k] {
+			shift := uint(l0Bits + (k-1)*lvlBits)
+			s := int32((t >> shift) & (lvlSize - 1))
+			ev.lvl, ev.slot = int8(k), s
+			b := &e.lvl[k-1][s]
+			if b.tail == nil {
+				b.head = ev
+				ev.prev = nil
+				e.lvlWords[k-1][s>>6] |= 1 << (uint32(s) & 63)
+			} else {
+				ev.prev = b.tail
+				b.tail.next = ev
+			}
+			b.tail = ev
+			ev.next = nil
+			e.wheel++
+			return
+		}
+	}
+	panic("sim: unreachable: no wheel window for event") // guarded by the switch
+}
+
+// remove unlinks ev from wherever it is queued (wheel bucket or far heap).
+func (e *Engine) remove(ev *scheduledEvent) {
+	if ev.lvl == locFar {
+		e.farRemove(int(ev.idx))
+		ev.lvl = locNone
+		return
+	}
+	var b *bucket
+	s := ev.slot
+	if ev.lvl == 0 {
+		b = &e.l0[s]
+	} else {
+		b = &e.lvl[ev.lvl-1][s]
+	}
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		b.head = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		b.tail = ev.prev
+	}
+	if b.head == nil {
+		if ev.lvl == 0 {
+			e.l0words[s>>6] &^= 1 << (uint32(s) & 63)
+			if e.l0words[s>>6] == 0 {
+				e.l0sum &^= 1 << (uint32(s) >> 6)
+			}
+		} else {
+			e.lvlWords[ev.lvl-1][s>>6] &^= 1 << (uint32(s) & 63)
+		}
+	}
+	ev.prev, ev.next = nil, nil
+	ev.lvl = locNone
+	e.wheel--
+}
+
+// wheelMin returns the earliest event resident in the wheel, cascading
+// overflow buckets toward level 0 as needed; nil when the wheel is empty.
+// Within a level, slot index order is time order (each window is a suffix
+// of one aligned block) and bucket FIFO order is seq order, so the head of
+// the lowest occupied level-0 slot is the exact (time, seq) minimum.
+func (e *Engine) wheelMin() *scheduledEvent {
+	for {
+		if e.l0sum != 0 {
+			w := bits.TrailingZeros64(e.l0sum)
+			s := w<<6 + bits.TrailingZeros64(e.l0words[w])
+			return e.l0[s].head
+		}
+		if !e.cascade() {
+			return nil
+		}
+	}
+}
+
+// cascade moves the earliest occupied bucket of the lowest non-empty
+// overflow level down one level, advancing the windows below it. It
+// reports whether any bucket moved.
+func (e *Engine) cascade() bool {
+	for k := 1; k <= numLvls; k++ {
+		s := -1
+		for w, word := range e.lvlWords[k-1] {
+			if word != 0 {
+				s = w<<6 + bits.TrailingZeros64(word)
+				break
+			}
+		}
+		if s < 0 {
+			continue
+		}
+		b := &e.lvl[k-1][s]
+		head := b.head
+		shift := uint(l0Bits + (k-1)*lvlBits)
+		base := (head.at >> shift) << shift // bucket start; aligned to 2^shift
+		// The new level-(k−1) window is exactly this bucket's span; every
+		// window below starts empty at its base. base is aligned to
+		// 2^(l0Bits+(k−1)·lvlBits), which is also block-aligned for every
+		// lower level, so the suffix-of-one-block invariant holds.
+		e.winEnd[k-1] = base + Time(1)<<shift
+		for j := k - 2; j >= 0; j-- {
+			e.winEnd[j] = base
+		}
+		// Detach the bucket and redistribute. The bucket list is in seq
+		// order and the target slots are empty (the levels below were
+		// exhausted, and direct inserts for these times were impossible
+		// before the window advance), so per-slot FIFO order stays seq
+		// order.
+		b.head, b.tail = nil, nil
+		e.lvlWords[k-1][s>>6] &^= 1 << (uint(s) & 63)
+		for ev := head; ev != nil; {
+			next := ev.next
+			ev.prev, ev.next = nil, nil
+			e.wheel--
+			e.place(ev)
+			ev = next
+		}
+		return true
+	}
+	return false
+}
+
+// nextEvent returns the earliest pending event without removing it (the
+// wheel may cascade as a side effect), or nil when nothing is pending.
+func (e *Engine) nextEvent() *scheduledEvent {
+	var w *scheduledEvent
+	if e.wheel > 0 {
+		w = e.wheelMin()
+	}
+	if len(e.far) > 0 {
+		f := e.far[0]
+		if w == nil || eventLess(f, w) {
+			return f
+		}
+	}
+	return w
 }
 
 // After schedules fn to run d ticks from now.
@@ -184,18 +428,19 @@ func (e *Engine) Stop() { e.stopped = true }
 // or until, whichever is smaller.
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for e.pending > 0 && !e.stopped {
 		// With no live (non-daemon) work left, an unbounded run is done:
 		// only periodic housekeeping remains and it would tick forever.
 		if until == MaxTime && e.live == 0 {
 			break
 		}
-		next := e.queue[0]
+		next := e.nextEvent()
 		if next.at > until {
 			e.now = until
 			return e.now
 		}
-		e.heapPopRoot()
+		e.remove(next)
+		e.pending--
 		e.now = next.at
 		fn := next.fn
 		if !next.daemon {
@@ -212,17 +457,17 @@ func (e *Engine) Run(until Time) Time {
 	// callers can express "idle until the end of the window" — except for
 	// MaxTime, which means "run to completion" and should leave the clock at
 	// the last event.
-	if e.now < until && until != MaxTime && len(e.queue) == 0 {
+	if e.now < until && until != MaxTime && e.pending == 0 {
 		e.now = until
 	}
 	return e.now
 }
 
-// --- 4-ary min-heap on (at, seq) ---
+// --- far-future fallback: 4-ary min-heap on (at, seq) ---
 //
-// A 4-ary heap halves the tree depth of a binary heap: sift-down compares
-// more children per level but touches half as many cache lines, which wins
-// for the push/pop-dominated access pattern of a simulator event loop.
+// Only events beyond the wheel horizon (or behind its base) land here, so
+// the heap is almost always tiny; its root is compared against the wheel
+// minimum at every pop, which keeps the global (time, seq) order exact.
 
 func eventLess(a, b *scheduledEvent) bool {
 	if a.at != b.at {
@@ -231,32 +476,32 @@ func eventLess(a, b *scheduledEvent) bool {
 	return a.seq < b.seq
 }
 
-func (e *Engine) heapPush(ev *scheduledEvent) {
-	e.queue = append(e.queue, ev)
-	e.siftUp(len(e.queue)-1, ev)
+func (e *Engine) farPush(ev *scheduledEvent) {
+	ev.lvl = locFar
+	e.far = append(e.far, ev)
+	e.siftUp(len(e.far)-1, ev)
 }
 
-// heapPopRoot removes the minimum event. The caller already holds e.queue[0].
-func (e *Engine) heapPopRoot() {
-	q := e.queue
-	q[0].idx = -1
+// farPopRoot removes the minimum far event.
+func (e *Engine) farPopRoot() {
+	q := e.far
+	q[0].lvl = locNone
 	n := len(q) - 1
 	last := q[n]
 	q[n] = nil
-	e.queue = q[:n]
+	e.far = q[:n]
 	if n > 0 {
 		e.siftDown(0, last)
 	}
 }
 
-// heapRemove deletes the event at index i, restoring heap order.
-func (e *Engine) heapRemove(i int) {
-	q := e.queue
-	q[i].idx = -1
+// farRemove deletes the far event at index i, restoring heap order.
+func (e *Engine) farRemove(i int) {
+	q := e.far
 	n := len(q) - 1
 	last := q[n]
 	q[n] = nil
-	e.queue = q[:n]
+	e.far = q[:n]
 	if i == n {
 		return
 	}
@@ -270,7 +515,7 @@ func (e *Engine) heapRemove(i int) {
 // siftUp places ev at index i or above. The slot at i is treated as a hole:
 // ev is only written once its final position is known.
 func (e *Engine) siftUp(i int, ev *scheduledEvent) {
-	q := e.queue
+	q := e.far
 	for i > 0 {
 		parent := (i - 1) >> 2
 		pe := q[parent]
@@ -278,16 +523,16 @@ func (e *Engine) siftUp(i int, ev *scheduledEvent) {
 			break
 		}
 		q[i] = pe
-		pe.idx = i
+		pe.idx = int32(i)
 		i = parent
 	}
 	q[i] = ev
-	ev.idx = i
+	ev.idx = int32(i)
 }
 
 // siftDown places ev at index i or below.
 func (e *Engine) siftDown(i int, ev *scheduledEvent) {
-	q := e.queue
+	q := e.far
 	n := len(q)
 	for {
 		c := i<<2 + 1
@@ -310,11 +555,11 @@ func (e *Engine) siftDown(i int, ev *scheduledEvent) {
 			break
 		}
 		q[i] = best
-		best.idx = i
+		best.idx = int32(i)
 		i = m
 	}
 	q[i] = ev
-	ev.idx = i
+	ev.idx = int32(i)
 }
 
 // Ticker invokes fn every period until cancelled. It is the building block

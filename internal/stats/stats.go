@@ -28,6 +28,18 @@ func (s *Sample) Add(v float64) {
 	s.sum += v
 }
 
+// Reserve grows the sample's capacity to hold at least n observations, so
+// experiments that know their flow or sample count up front avoid repeated
+// reallocation while recording.
+func (s *Sample) Reserve(n int) {
+	if n <= cap(s.values) {
+		return
+	}
+	v := make([]float64, len(s.values), n)
+	copy(v, s.values)
+	s.values = v
+}
+
 // N returns the observation count.
 func (s *Sample) N() int { return len(s.values) }
 
@@ -39,21 +51,27 @@ func (s *Sample) Mean() float64 {
 	return s.sum / float64(len(s.values))
 }
 
-// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank.
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank: the smallest
+// value v such that at least q·n observations are ≤ v, i.e. the value at
+// rank ⌈q·n⌉. q ≤ 0 returns the minimum and q ≥ 1 the maximum.
 func (s *Sample) Quantile(q float64) float64 {
-	if len(s.values) == 0 {
+	n := len(s.values)
+	if n == 0 {
 		return 0
 	}
 	s.sort()
-	idx := int(q*float64(len(s.values))) - 0
-	if q >= 1 {
-		idx = len(s.values) - 1
+	if q <= 0 {
+		return s.values[0]
 	}
+	if q >= 1 {
+		return s.values[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(s.values) {
-		idx = len(s.values) - 1
+	if idx >= n {
+		idx = n - 1
 	}
 	return s.values[idx]
 }
@@ -135,6 +153,24 @@ type FCTRecorder struct {
 	// report the outlier-robust ratio-of-means mean(FCT)/mean(optimal)
 	// alongside the per-flow-normalized mean.
 	OptimalSum float64
+}
+
+// NewFCTRecorder returns a recorder with its sample buffers pre-sized for
+// roughly expectedFlows completions, so recording stays allocation-free on
+// the hot path. Empirical datacenter workloads (§5.2) are dominated by
+// small flows, so the small buckets get full capacity and the large ones a
+// fraction; the buffers still grow if an experiment overshoots.
+func NewFCTRecorder(expectedFlows int) *FCTRecorder {
+	r := &FCTRecorder{}
+	if expectedFlows > 0 {
+		r.Overall.Reserve(expectedFlows)
+		r.OverallNorm.Reserve(expectedFlows)
+		r.Small.Reserve(expectedFlows)
+		r.SmallNorm.Reserve(expectedFlows)
+		r.Large.Reserve(expectedFlows/8 + 1)
+		r.LargeNorm.Reserve(expectedFlows/8 + 1)
+	}
+	return r
 }
 
 // NormOfMeans returns mean(FCT)/mean(optimal), the headline normalization

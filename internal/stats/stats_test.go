@@ -233,3 +233,61 @@ func TestQueueSamplerSeesBacklog(t *testing.T) {
 		t.Fatal("per-link and aggregate series disagree")
 	}
 }
+
+// Pin nearest-rank semantics: Quantile(q) is the value at rank ceil(q*n).
+// The old int(q*n) indexing was off by one rank whenever q*n was integral
+// (the median of {1,2,3,4} returned 3, and the median of two samples
+// returned the maximum), which this table would have caught.
+func TestSampleQuantileNearestRank(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		q      float64
+		want   float64
+	}{
+		{"median-of-2", []float64{1, 2}, 0.5, 1},
+		{"median-of-4", []float64{1, 2, 3, 4}, 0.5, 2},
+		{"median-of-5", []float64{1, 2, 3, 4, 5}, 0.5, 3},
+		{"p25-of-4", []float64{1, 2, 3, 4}, 0.25, 1},
+		{"p75-of-4", []float64{1, 2, 3, 4}, 0.75, 3},
+		{"p99-of-100", seq100(), 0.99, 99},
+		{"p999-of-100", seq100(), 0.999, 100},
+		{"p95-of-20", seq(20), 0.95, 19},
+		{"zero-is-min", []float64{3, 1, 2}, 0, 1},
+		{"one-is-max", []float64{3, 1, 2}, 1, 3},
+		{"negative-clamps", []float64{3, 1, 2}, -0.5, 1},
+		{"above-one-clamps", []float64{3, 1, 2}, 1.5, 3},
+		{"single", []float64{7}, 0.5, 7},
+		{"tiny-q", seq100(), 0.001, 1},
+	}
+	for _, c := range cases {
+		var s Sample
+		for _, v := range c.values {
+			s.Add(v)
+		}
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+func seq(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	return v
+}
+
+func seq100() []float64 { return seq(100) }
+
+func TestSampleReservePreservesValues(t *testing.T) {
+	var s Sample
+	s.Add(2)
+	s.Add(1)
+	s.Reserve(1000)
+	s.Add(3)
+	if s.N() != 3 || s.Min() != 1 || s.Max() != 3 {
+		t.Fatalf("after Reserve: N=%d min=%v max=%v", s.N(), s.Min(), s.Max())
+	}
+}

@@ -1,8 +1,6 @@
 package tcp
 
 import (
-	"sort"
-
 	"conga/internal/fabric"
 	"conga/internal/sim"
 )
@@ -17,8 +15,9 @@ type Receiver struct {
 	port int
 
 	rcvNxt int64
-	// ooo holds disjoint, sorted out-of-order intervals [start, end).
-	ooo []interval
+	// ooo holds disjoint, sorted out-of-order intervals [start, end);
+	// the common few-hole case stays in the spanSet's inline array.
+	ooo spanSet
 
 	// OnDelivered fires whenever the in-order prefix advances, with the
 	// new prefix length. Applications use it to delimit responses.
@@ -33,8 +32,6 @@ type Receiver struct {
 
 	freed bool
 }
-
-type interval struct{ start, end int64 }
 
 // NewReceiver binds a receiver to (host, port).
 func NewReceiver(host *fabric.Host, port int) *Receiver {
@@ -85,29 +82,15 @@ func (r *Receiver) Receive(p *fabric.Packet, now sim.Time) {
 // insertOOO merges [start, end) into the buffer and returns the index of
 // the interval now containing it.
 func (r *Receiver) insertOOO(start, end int64) int {
-	i := sort.Search(len(r.ooo), func(i int) bool { return r.ooo[i].end >= start })
-	// Merge every overlapping/adjacent interval from i onward.
-	newIv := interval{start, end}
-	j := i
-	for j < len(r.ooo) && r.ooo[j].start <= end {
-		if r.ooo[j].start < newIv.start {
-			newIv.start = r.ooo[j].start
-		}
-		if r.ooo[j].end > newIv.end {
-			newIv.end = r.ooo[j].end
-		}
-		j++
-	}
-	r.ooo = append(r.ooo[:i], append([]interval{newIv}, r.ooo[j:]...)...)
-	return i
+	return r.ooo.insert(start, end)
 }
 
 func (r *Receiver) drainOOO() {
-	for len(r.ooo) > 0 && r.ooo[0].start <= r.rcvNxt {
-		if r.ooo[0].end > r.rcvNxt {
-			r.rcvNxt = r.ooo[0].end
+	for len(r.ooo.spans) > 0 && r.ooo.spans[0].start <= r.rcvNxt {
+		if r.ooo.spans[0].end > r.rcvNxt {
+			r.rcvNxt = r.ooo.spans[0].end
 		}
-		r.ooo = r.ooo[1:]
+		r.ooo.popFront()
 	}
 }
 
@@ -127,13 +110,13 @@ func (r *Receiver) sendAck(data *fabric.Packet, recent int, now sim.Time) {
 	// the segment that triggered this ACK; the rest rotate through the
 	// other buffered ranges so the sender's scoreboard converges even
 	// with many holes.
-	if n := len(r.ooo); n > 0 {
+	if n := len(r.ooo.spans); n > 0 {
 		start := recent
 		if start < 0 || start >= n {
 			start = 0
 		}
 		for k := 0; k < n && k < 3; k++ {
-			iv := r.ooo[(start+k)%n]
+			iv := r.ooo.spans[(start+k)%n]
 			ack.Sack[ack.SackN] = [2]int64{iv.start, iv.end}
 			ack.SackN++
 		}

@@ -21,8 +21,8 @@ func TestAddSackMergesRanges(t *testing.T) {
 	s.addSack(1000, 2000)
 	s.addSack(3000, 4000)
 	s.addSack(1500, 3500) // bridges both
-	if len(s.sacked) != 1 || s.sacked[0] != (sackRange{1000, 4000}) {
-		t.Fatalf("scoreboard %v, want [{1000 4000}]", s.sacked)
+	if len(s.sacked.spans) != 1 || s.sacked.spans[0] != (sackRange{1000, 4000}) {
+		t.Fatalf("scoreboard %v, want [{1000 4000}]", s.sacked.spans)
 	}
 }
 
@@ -32,12 +32,12 @@ func TestAddSackKeepsDisjointSorted(t *testing.T) {
 	s.addSack(1000, 2000)
 	s.addSack(3000, 4000)
 	want := []sackRange{{1000, 2000}, {3000, 4000}, {5000, 6000}}
-	if len(s.sacked) != 3 {
-		t.Fatalf("scoreboard %v", s.sacked)
+	if len(s.sacked.spans) != 3 {
+		t.Fatalf("scoreboard %v", s.sacked.spans)
 	}
 	for i, r := range want {
-		if s.sacked[i] != r {
-			t.Fatalf("scoreboard %v, want %v", s.sacked, want)
+		if s.sacked.spans[i] != r {
+			t.Fatalf("scoreboard %v, want %v", s.sacked.spans, want)
 		}
 	}
 }
@@ -46,12 +46,12 @@ func TestAddSackIgnoresBelowUna(t *testing.T) {
 	s, _, _ := newBareSender(t)
 	s.sndUna = 5000
 	s.addSack(1000, 3000) // entirely stale
-	if len(s.sacked) != 0 {
-		t.Fatalf("stale SACK retained: %v", s.sacked)
+	if len(s.sacked.spans) != 0 {
+		t.Fatalf("stale SACK retained: %v", s.sacked.spans)
 	}
 	s.addSack(4000, 7000) // partially stale: clamp to una
-	if len(s.sacked) != 1 || s.sacked[0].start != 5000 {
-		t.Fatalf("clamping failed: %v", s.sacked)
+	if len(s.sacked.spans) != 1 || s.sacked.spans[0].start != 5000 {
+		t.Fatalf("clamping failed: %v", s.sacked.spans)
 	}
 }
 
@@ -61,8 +61,43 @@ func TestPruneSack(t *testing.T) {
 	s.addSack(3000, 4000)
 	s.sndUna = 3500
 	s.pruneSack()
-	if len(s.sacked) != 1 || s.sacked[0] != (sackRange{3500, 4000}) {
-		t.Fatalf("prune result %v", s.sacked)
+	if len(s.sacked.spans) != 1 || s.sacked.spans[0] != (sackRange{3500, 4000}) {
+		t.Fatalf("prune result %v", s.sacked.spans)
+	}
+}
+
+// TestAddSackOverflowsInlineCapacity: more than four disjoint holes spill
+// the scoreboard past the spanSet's inline array; ordering, merging, and
+// the containing-index contract must survive the spill and the collapse
+// back to a single range.
+func TestAddSackOverflowsInlineCapacity(t *testing.T) {
+	s, _, _ := newBareSender(t)
+	// Six disjoint ranges, inserted out of order.
+	for _, r := range []sackRange{{9000, 9500}, {1000, 1500}, {5000, 5500}, {3000, 3500}, {11000, 11500}, {7000, 7500}} {
+		s.addSack(r.start, r.end)
+	}
+	want := []sackRange{{1000, 1500}, {3000, 3500}, {5000, 5500}, {7000, 7500}, {9000, 9500}, {11000, 11500}}
+	if len(s.sacked.spans) != len(want) {
+		t.Fatalf("scoreboard %v, want %v", s.sacked.spans, want)
+	}
+	for i, r := range want {
+		if s.sacked.spans[i] != r {
+			t.Fatalf("scoreboard %v, want %v", s.sacked.spans, want)
+		}
+	}
+	// Inserting into the spilled set still reports the containing index.
+	if got := s.sacked.insert(5600, 5700); got != 3 {
+		t.Fatalf("containing index %d, want 3", got)
+	}
+	// One bridging range collapses everything back below inline capacity.
+	s.addSack(1000, 12000)
+	if len(s.sacked.spans) != 1 || s.sacked.spans[0] != (sackRange{1000, 12000}) {
+		t.Fatalf("collapse result %v", s.sacked.spans)
+	}
+	// And the set keeps working after the collapse.
+	s.addSack(20000, 21000)
+	if len(s.sacked.spans) != 2 || s.sacked.spans[1] != (sackRange{20000, 21000}) {
+		t.Fatalf("post-collapse insert %v", s.sacked.spans)
 	}
 }
 
@@ -122,7 +157,7 @@ func TestLostBytesRFC6675Heuristic(t *testing.T) {
 		t.Fatalf("lostBytes = %d, want %d", got, 10*mss)
 	}
 	// Nothing sacked → nothing provably lost.
-	s.sacked = nil
+	s.sacked = spanSet{}
 	if got := s.lostBytes(); got != 0 {
 		t.Fatalf("lostBytes = %d with empty scoreboard", got)
 	}

@@ -1,0 +1,63 @@
+package tcp
+
+// span is a half-open byte range [start, end).
+type span struct{ start, end int64 }
+
+// spanSet maintains a sorted set of disjoint spans, merging on insert. It
+// backs both the sender's SACK scoreboard and the receiver's out-of-order
+// buffer. Real transfers rarely have more than a few holes at once (the
+// receiver reports at most 3 SACK blocks per ACK), so the first four spans
+// live in an inline array and inserts are allocation-free; a fifth
+// concurrent span spills the set onto the heap via ordinary slice growth.
+// The set must not be copied once used: spans aliases inline.
+type spanSet struct {
+	inline [4]span
+	spans  []span
+}
+
+// insert merges [start, end) into the set in place and returns the index
+// of the span that now contains it. Overlapping and adjacent spans
+// coalesce. Caller guarantees start < end.
+func (s *spanSet) insert(start, end int64) int {
+	if s.spans == nil {
+		s.spans = s.inline[:0]
+	}
+	sp := s.spans
+	n := len(sp)
+	i := 0
+	for i < n && sp[i].end < start {
+		i++
+	}
+	nr := span{start, end}
+	j := i
+	for j < n && sp[j].start <= end {
+		if sp[j].start < nr.start {
+			nr.start = sp[j].start
+		}
+		if sp[j].end > nr.end {
+			nr.end = sp[j].end
+		}
+		j++
+	}
+	if j == i {
+		// Pure insertion: open a gap at i. append reuses the inline array
+		// until a fifth span forces heap growth.
+		sp = append(sp, span{})
+		copy(sp[i+1:], sp[i:])
+		sp[i] = nr
+		s.spans = sp
+		return i
+	}
+	// sp[i:j] merged into nr: write it at i and close the gap.
+	sp[i] = nr
+	m := copy(sp[i+1:], sp[j:])
+	s.spans = sp[:i+1+m]
+	return i
+}
+
+// popFront removes the first span, compacting in place so the set keeps
+// its inline backing (reslicing would orphan inline[0] forever).
+func (s *spanSet) popFront() {
+	copy(s.spans, s.spans[1:])
+	s.spans = s.spans[:len(s.spans)-1]
+}

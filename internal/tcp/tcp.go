@@ -134,7 +134,7 @@ type Sender struct {
 	// SACK scoreboard: disjoint sorted ranges in (sndUna, sndNxt) the
 	// receiver has reported holding. retxMark is the high-water mark of
 	// hole retransmissions in the current recovery episode.
-	sacked   []sackRange
+	sacked   spanSet
 	retxMark int64
 	retxPipe int64 // retransmitted bytes not yet cumulatively acked
 
@@ -335,7 +335,9 @@ func (s *Sender) onTimeout(now sim.Time) {
 	s.trySend(now)
 }
 
-type sackRange struct{ start, end int64 }
+// sackRange is the scoreboard's span type; the scoreboard itself is a
+// spanSet, which keeps the common ≤4-hole case in an inline array.
+type sackRange = span
 
 // Receive handles an ACK (the sender's bound port only ever sees ACKs).
 func (s *Sender) Receive(p *fabric.Packet, now sim.Time) {
@@ -361,28 +363,13 @@ func (s *Sender) addSack(start, end int64) {
 	if start < s.sndUna {
 		start = s.sndUna
 	}
-	i := 0
-	for i < len(s.sacked) && s.sacked[i].end < start {
-		i++
-	}
-	j := i
-	nr := sackRange{start, end}
-	for j < len(s.sacked) && s.sacked[j].start <= end {
-		if s.sacked[j].start < nr.start {
-			nr.start = s.sacked[j].start
-		}
-		if s.sacked[j].end > nr.end {
-			nr.end = s.sacked[j].end
-		}
-		j++
-	}
-	s.sacked = append(s.sacked[:i], append([]sackRange{nr}, s.sacked[j:]...)...)
+	s.sacked.insert(start, end)
 }
 
 // skipSacked advances sndNxt over a SACKed range it sits in, reporting
 // whether it moved.
 func (s *Sender) skipSacked() bool {
-	for _, r := range s.sacked {
+	for _, r := range s.sacked.spans {
 		if s.sndNxt >= r.start && s.sndNxt < r.end {
 			s.sndNxt = r.end
 			return true
@@ -394,7 +381,7 @@ func (s *Sender) skipSacked() bool {
 // nextSackAbove returns the start of the first SACKed range beginning
 // strictly above seq, or −1 if none.
 func (s *Sender) nextSackAbove(seq int64) int64 {
-	for _, r := range s.sacked {
+	for _, r := range s.sacked.spans {
 		if r.start > seq {
 			return r.start
 		}
@@ -404,18 +391,19 @@ func (s *Sender) nextSackAbove(seq int64) int64 {
 
 // pruneSack drops scoreboard state at or below the cumulative ACK.
 func (s *Sender) pruneSack() {
+	sp := s.sacked.spans
 	k := 0
-	for _, r := range s.sacked {
+	for _, r := range sp {
 		if r.end <= s.sndUna {
 			continue
 		}
 		if r.start < s.sndUna {
 			r.start = s.sndUna
 		}
-		s.sacked[k] = r
+		sp[k] = r
 		k++
 	}
-	s.sacked = s.sacked[:k]
+	s.sacked.spans = sp[:k]
 }
 
 // nextHole returns the start of the next unretransmitted, unsacked segment
@@ -430,7 +418,7 @@ func (s *Sender) nextHole() (seq int64, size int, ok bool) {
 	if s.avail < limit {
 		limit = s.avail
 	}
-	for _, r := range s.sacked {
+	for _, r := range s.sacked.spans {
 		if cand >= limit {
 			return 0, 0, false
 		}
@@ -476,7 +464,7 @@ func (s *Sender) retransmitNextHole(now sim.Time) bool {
 
 func (s *Sender) sackedBytes() int64 {
 	var n int64
-	for _, r := range s.sacked {
+	for _, r := range s.sacked.spans {
 		n += r.end - r.start
 	}
 	return n
@@ -487,15 +475,15 @@ func (s *Sender) sackedBytes() int64 {
 // SACKed. With H the highest SACKed offset, that is every unsacked byte
 // below H − 3·MSS.
 func (s *Sender) lostBytes() int64 {
-	if len(s.sacked) == 0 {
+	if len(s.sacked.spans) == 0 {
 		return 0
 	}
-	limit := s.sacked[len(s.sacked)-1].end - int64(3*s.cfg.MSS)
+	limit := s.sacked.spans[len(s.sacked.spans)-1].end - int64(3*s.cfg.MSS)
 	if limit <= s.sndUna {
 		return 0
 	}
 	lost := limit - s.sndUna
-	for _, r := range s.sacked {
+	for _, r := range s.sacked.spans {
 		if r.start >= limit {
 			break
 		}

@@ -13,13 +13,32 @@ func RunFCTs(cfgs []FCTConfig) ([]*FCTResult, error) {
 	return runner.Map(0, cfgs, RunFCT)
 }
 
+// RunFCTsStream is RunFCTs with a streaming callback: emit fires once per
+// experiment in config order as soon as it (and all earlier configs) have
+// finished, so sweeps can print rows while later runs are still going.
+func RunFCTsStream(cfgs []FCTConfig, emit func(i int, r *FCTResult, err error)) ([]*FCTResult, error) {
+	return runner.MapStream(0, cfgs, RunFCT, emit)
+}
+
 // RunIncasts executes Incast micro-benchmarks in parallel, results in
 // config order.
 func RunIncasts(cfgs []IncastConfig) ([]*IncastResult, error) {
 	return runner.Map(0, cfgs, RunIncast)
 }
 
+// RunIncastsStream is RunIncasts with a per-completion, config-order
+// callback.
+func RunIncastsStream(cfgs []IncastConfig, emit func(i int, r *IncastResult, err error)) ([]*IncastResult, error) {
+	return runner.MapStream(0, cfgs, RunIncast, emit)
+}
+
 // RunHDFSTrials executes HDFS trials in parallel, results in config order.
 func RunHDFSTrials(cfgs []HDFSConfig) ([]*HDFSResult, error) {
 	return runner.Map(0, cfgs, RunHDFS)
+}
+
+// RunHDFSTrialsStream is RunHDFSTrials with a per-completion, config-order
+// callback.
+func RunHDFSTrialsStream(cfgs []HDFSConfig, emit func(i int, r *HDFSResult, err error)) ([]*HDFSResult, error) {
+	return runner.MapStream(0, cfgs, RunHDFS, emit)
 }
