@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-engine bench-quick check
+.PHONY: build test race vet bench bench-engine bench-quick bench-guard check
 
 build:
 	$(GO) build ./...
@@ -25,10 +25,19 @@ bench:
 bench-engine:
 	$(GO) test -bench BenchmarkEngineRaw -run '^$$' .
 
-# Quick smoke benchmark for CI and pre-commit: the engine hot path plus one
-# full figure experiment, a single iteration each. Catches gross perf or
-# allocation regressions in about a minute without the full artifact sweep.
+# Quick smoke benchmark for CI and pre-commit: the engine hot path at a
+# fixed iteration count (so ns/op is stable enough for the benchguard
+# regression gate) plus one full figure experiment at a single iteration.
+# Catches gross perf or allocation regressions in about a minute without
+# the full artifact sweep.
 bench-quick:
-	$(GO) test -bench 'BenchmarkEngineRaw$$|BenchmarkFig09Enterprise$$' -benchtime 1x -run '^$$' .
+	$(GO) test -bench 'BenchmarkEngineRaw$$' -benchtime 200000x -run '^$$' .
+	$(GO) test -bench 'BenchmarkFig09Enterprise$$' -benchtime 1x -run '^$$' .
+
+# Gate bench-quick output against the recorded baseline (CI runs this on
+# every PR; >15% ns/op regression on the engine hot path fails the build).
+bench-guard:
+	$(MAKE) bench-quick | tee bench-quick.txt
+	$(GO) run ./tools/benchguard -baseline BENCH_PR2.json -max-regress 0.15 bench-quick.txt
 
 check: build vet test race

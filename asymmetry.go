@@ -87,7 +87,7 @@ func runLongLivedLoad(topo Topology, scheme Scheme, seed uint64, pairs []pair,
 		return nil, err
 	}
 	eng := sim.New()
-	net, err := topo.build(eng, fabScheme, DefaultParams(), nil, seed)
+	net, err := topo.build(eng, fabScheme, DefaultParams(), nil, seed, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -62,6 +62,8 @@ func fctConfig(quick bool, s conga.Scheme, w conga.Workload, load float64) conga
 			cfg.MaxFlows = 500
 		}
 	}
+	cfg.Telemetry = telemetryFor(fmt.Sprintf("%s_%s_load%02d",
+		conga.SchemeName(s), w, int(load*100)))
 	return cfg
 }
 
@@ -396,6 +398,7 @@ func runFig13(quick bool) {
 					RequestBytes: reqBytes,
 					Rounds:       rounds,
 					Timeout:      time.Duration(rounds) * 10 * time.Second,
+					Telemetry:    telemetryFor(fmt.Sprintf("incast_%s_mtu%d_f%d", setup.kind, mtu, f)),
 				})
 				rowOf = append(rowOf, rowKey{mi, si})
 				fanOf = append(fanOf, f)

@@ -16,9 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
+
+	conga "conga"
 )
 
 type experiment struct {
@@ -45,10 +48,36 @@ var experiments = []experiment{
 	{"ablation", "Ablations: parameter sensitivity (Q, τ, Tfl, gap mode)", runAblation},
 }
 
+// telemetryDir, when set via -telemetry, makes every figure run emit its
+// counters and series into a tagged subdirectory. telemetrySeq numbers the
+// subdirectories in config-construction order so sweep points stay
+// distinguishable; construction is sequential even though the runs fan out
+// across workers, and each run owns its private registry (per-engine
+// isolation).
+var (
+	telemetryDir string
+	telemetrySeq int
+)
+
+// telemetryFor returns per-run telemetry options flushing into a tagged
+// subdirectory, or nil when -telemetry is unset. Packet traces stay off for
+// sweeps — hundreds of runs × 64K events is noise, not observability; use
+// congasim -telemetry for a traced single run.
+func telemetryFor(tag string) *conga.TelemetryOptions {
+	if telemetryDir == "" {
+		return nil
+	}
+	telemetrySeq++
+	opts := conga.TelemetryAll(filepath.Join(telemetryDir, fmt.Sprintf("%03d_%s", telemetrySeq, tag)))
+	opts.Trace = false
+	return opts
+}
+
 func main() {
 	fig := flag.String("fig", "all", "experiment id (fig2..fig17, thm2, ablation) or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale for a fast pass")
 	list := flag.Bool("list", false, "list experiments and exit")
+	flag.StringVar(&telemetryDir, "telemetry", "", "emit telemetry counters and series for every run into tagged subdirectories of this directory")
 	flag.Parse()
 
 	if *list {

@@ -48,6 +48,9 @@ func main() {
 
 		fanout = flag.Int("fanout", 16, "incast fan-in (incast mode)")
 		reqMB  = flag.Int("reqmb", 10, "incast request size in MB")
+
+		telemetryDir  = flag.String("telemetry", "", "enable telemetry and write one CSV + NDJSON file per probe into this directory")
+		telemetryFlow = flag.Int64("telemetry-flow", -1, "restrict the packet trace to this flow ID (-1 = all flows)")
 	)
 	flag.Parse()
 
@@ -69,6 +72,16 @@ func main() {
 		die(fmt.Errorf("unknown transport %q", *transport))
 	}
 
+	var tel *conga.TelemetryOptions
+	if *telemetryDir != "" {
+		tel = conga.TelemetryAll(*telemetryDir)
+		if *telemetryFlow >= 0 {
+			tel.TraceFilter.FlowID = *telemetryFlow
+			tel.TraceFilter.SrcHost, tel.TraceFilter.DstHost = -1, -1
+			tel.TraceFilter.SrcPort, tel.TraceFilter.DstPort = -1, -1
+		}
+	}
+
 	switch *mode {
 	case "fct":
 		w, err := parseWorkload(*workload)
@@ -77,25 +90,31 @@ func main() {
 			Topology: topo, Scheme: sch, Workload: w, Load: *load,
 			Transport: tc, Duration: *duration, MaxFlows: *maxFlows, Seed: *seed,
 			CollectImbalance: *imbalance, CollectQueues: *queues,
+			Telemetry: tel,
 		})
 		die(err)
 		printFCT(res)
+		printTelemetry(res.Telemetry, *telemetryDir)
 	case "incast":
 		res, err := conga.RunIncast(conga.IncastConfig{
 			Topology: topo, Scheme: sch, Transport: tc,
 			Fanout: *fanout, RequestBytes: int64(*reqMB) << 20, Seed: *seed,
+			Telemetry: tel,
 		})
 		die(err)
 		fmt.Printf("fanout %d: goodput %.1f%% of access rate, %d rounds, %d drops at client port, %d RTOs\n",
 			res.Fanout, res.GoodputFraction*100, res.CompletedRounds, res.Drops, res.Timeouts)
+		printTelemetry(res.Telemetry, *telemetryDir)
 	case "hdfs":
 		res, err := conga.RunHDFS(conga.HDFSConfig{
 			Topology: topo, Scheme: sch, Transport: tc,
 			BackgroundLoad: *load, Seed: *seed,
+			Telemetry: tel,
 		})
 		die(err)
 		fmt.Printf("job completion %.2fs (completed=%v), %d blocks, %d MB replicated, %d background flows\n",
 			res.JobCompletion.Seconds(), res.Completed, res.Blocks, res.ReplicaBytes>>20, res.BackgroundFlows)
+		printTelemetry(res.Telemetry, *telemetryDir)
 	case "fig2":
 		res, err := conga.RunFigure2(sch, *seed)
 		die(err)
@@ -129,6 +148,18 @@ func printFCT(r *conga.FCTResult) {
 		fmt.Printf("hotspot queue: max %.2f MB\n", maxq/1e6)
 	}
 	fmt.Printf("cost: %v simulated, %d events\n", r.SimTime, r.Events)
+}
+
+func printTelemetry(reg *conga.TelemetryRegistry, dir string) {
+	if reg == nil {
+		return
+	}
+	enq, deq, drops, ce := reg.LinkTotals()
+	tcp := reg.TCPTotals()
+	creates, expires, evicts := reg.FlowletTotals()
+	fmt.Printf("telemetry: links enq %d deq %d drops %d ce-marks %d; tcp retx %d rto %d dupacks %d; flowlets created %d expired %d evicted %d\n",
+		enq, deq, drops, ce, tcp.Retransmits, tcp.Timeouts, tcp.DupAcks, creates, expires, evicts)
+	fmt.Printf("telemetry: %d series, %d trace events -> %s\n", len(reg.AllSeries()), reg.Trace().Len(), dir)
 }
 
 func parseScheme(s string) (conga.Scheme, error) {

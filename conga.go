@@ -37,7 +37,30 @@ import (
 	"conga/internal/fabric"
 	"conga/internal/sim"
 	"conga/internal/tcp"
+	"conga/internal/telemetry"
 )
+
+// TelemetryOptions selects the observability probes for a run: monotonic
+// counters (per-link enqueue/dequeue/drop/CE-mark, flowlet
+// create/expire/evict, TCP loss recovery), fixed-capacity time series
+// (queue depth, DRE register, flowlet occupancy, congestion-table metrics)
+// and a 5-tuple-filterable packet trace. See internal/telemetry for the
+// zero-overhead-when-off design and the determinism guarantee: probes
+// observe, they never schedule, so enabling telemetry changes no simulation
+// outcome.
+type TelemetryOptions = telemetry.Options
+
+// TelemetryRegistry holds a run's collected telemetry; experiment results
+// expose it for programmatic access after the run, and it flushes one CSV
+// and one NDJSON file per probe when Options.Dir is set.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetryAll returns options with every probe enabled, flushing to dir
+// after the run ("" keeps everything in memory).
+func TelemetryAll(dir string) *TelemetryOptions {
+	o := telemetry.All(dir)
+	return &o
+}
 
 // Scheme selects the leaf load-balancing policy.
 type Scheme = fabric.Scheme
@@ -138,7 +161,7 @@ func (t Topology) withDefaults() Topology {
 }
 
 // fabricConfig lowers a Topology plus scheme/params onto the simulator.
-func (t Topology) fabricConfig(scheme Scheme, params core.Params, wcmpWeights []float64, seed uint64) fabric.Config {
+func (t Topology) fabricConfig(scheme Scheme, params core.Params, wcmpWeights []float64, seed uint64, tel *telemetry.Registry) fabric.Config {
 	cfg := fabric.Config{
 		NumLeaves:      t.Leaves,
 		NumSpines:      t.Spines,
@@ -152,6 +175,7 @@ func (t Topology) fabricConfig(scheme Scheme, params core.Params, wcmpWeights []
 		Params:         params,
 		WCMPWeights:    wcmpWeights,
 		Seed:           seed,
+		Telemetry:      tel,
 	}
 	if t.FabricLinkGbps != nil {
 		f := t.FabricLinkGbps
@@ -162,9 +186,10 @@ func (t Topology) fabricConfig(scheme Scheme, params core.Params, wcmpWeights []
 	return cfg
 }
 
-// build instantiates the network and applies link failures.
-func (t Topology) build(eng *sim.Engine, scheme Scheme, params core.Params, wcmp []float64, seed uint64) (*fabric.Network, error) {
-	n, err := fabric.NewNetwork(eng, t.fabricConfig(scheme, params, wcmp, seed))
+// build instantiates the network and applies link failures. tel (nil when
+// telemetry is off) is wired through the fabric before any event runs.
+func (t Topology) build(eng *sim.Engine, scheme Scheme, params core.Params, wcmp []float64, seed uint64, tel *telemetry.Registry) (*fabric.Network, error) {
+	n, err := fabric.NewNetwork(eng, t.fabricConfig(scheme, params, wcmp, seed, tel))
 	if err != nil {
 		return nil, err
 	}

@@ -22,8 +22,8 @@ func main() {
 	topo.FailedLinks = [][3]int{{1, 1, 1}} // leaf 1 ↔ spine 1, second LAG member
 
 	fmt.Println("Topology: testbed with one Leaf1-Spine1 link failed (75% bisection).")
-	fmt.Printf("%-12s %8s %14s %12s %10s %8s\n",
-		"scheme", "load", "avgFCT", "norm", "drops", "RTOs")
+	fmt.Printf("%-12s %8s %14s %12s %10s %8s %10s %10s\n",
+		"scheme", "load", "avgFCT", "norm", "drops", "RTOs", "retx", "flowlets")
 
 	for _, load := range []float64{0.3, 0.6} {
 		for _, scheme := range []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGAFlow, conga.SchemeCONGA, conga.SchemeMPTCPMarker} {
@@ -34,13 +34,19 @@ func main() {
 				Load:     load,
 				Duration: 50 * time.Millisecond,
 				MaxFlows: 1500,
+				// Count retransmits and flowlets per run; telemetry
+				// observes without changing any result.
+				Telemetry: conga.TelemetryAll(""),
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("%-12s %7.0f%% %14v %11.2fx %10d %8d\n",
+			tcp := res.Telemetry.TCPTotals()
+			flowlets, _, _ := res.Telemetry.FlowletTotals()
+			fmt.Printf("%-12s %7.0f%% %14v %11.2fx %10d %8d %10d %10d\n",
 				conga.SchemeName(scheme), load*100,
-				res.AvgFCT.Round(time.Microsecond), res.NormFCT, res.Drops, res.Timeouts)
+				res.AvgFCT.Round(time.Microsecond), res.NormFCT, res.Drops, res.Timeouts,
+				tcp.Retransmits, flowlets)
 		}
 		fmt.Println()
 	}

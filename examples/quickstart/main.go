@@ -28,6 +28,10 @@ func main() {
 			Load:     0.6, // 60% of bisection bandwidth
 			Duration: 50 * time.Millisecond,
 			MaxFlows: 1500,
+			// Telemetry is off by default and costs nothing; enabling it
+			// counts every enqueue, drop, retransmit and flowlet without
+			// changing the simulation's outcome.
+			Telemetry: conga.TelemetryAll(""), // "" = keep in memory, write no files
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -36,6 +40,12 @@ func main() {
 			res.Scheme, res.Completed,
 			res.AvgFCT.Round(time.Microsecond), res.NormFCT,
 			res.P99FCT.Round(time.Microsecond), res.Drops)
+		tel := res.Telemetry
+		_, _, drops, ceMarks := tel.LinkTotals()
+		tcp := tel.TCPTotals()
+		flowlets, _, _ := tel.FlowletTotals()
+		fmt.Printf("        telemetry: %d link drops, %d CE marks, %d retransmits, %d flowlets\n",
+			drops, ceMarks, tcp.Retransmits, flowlets)
 	}
 
 	fmt.Println("\nOn the symmetric fabric the schemes are close (the paper's §5.2.1);")

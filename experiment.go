@@ -10,6 +10,7 @@ import (
 	"conga/internal/sim"
 	"conga/internal/stats"
 	"conga/internal/tcp"
+	"conga/internal/telemetry"
 	"conga/internal/workload"
 )
 
@@ -80,6 +81,12 @@ type FCTConfig struct {
 	CollectImbalance bool
 	// CollectQueues samples every fabric queue (Figures 11c and 16).
 	CollectQueues bool
+
+	// Telemetry, when non-nil, enables the observability subsystem for
+	// this run; the populated registry comes back in FCTResult.Telemetry
+	// and flushes to Telemetry.Dir (if set) before RunFCT returns.
+	// Enabling it never changes simulation outcomes.
+	Telemetry *TelemetryOptions
 
 	WCMPWeights []float64
 }
@@ -153,6 +160,10 @@ type FCTResult struct {
 	// events executed (cost accounting for the bench harness).
 	SimTime time.Duration
 	Events  uint64
+
+	// Telemetry is the run's populated registry when FCTConfig.Telemetry
+	// was set (already collected and flushed), nil otherwise.
+	Telemetry *TelemetryRegistry
 }
 
 // OptimalFCT returns the idle-network completion time used for
@@ -204,7 +215,11 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	}
 
 	eng := sim.New()
-	net, err := cfg.Topology.build(eng, fabScheme, params, cfg.WCMPWeights, cfg.Seed)
+	var reg *telemetry.Registry
+	if cfg.Telemetry != nil {
+		reg = telemetry.New(*cfg.Telemetry)
+	}
+	net, err := cfg.Topology.build(eng, fabScheme, params, cfg.WCMPWeights, cfg.Seed, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -301,6 +316,13 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		Timeouts:       timeouts,
 		SimTime:        time.Duration(eng.Now()),
 		Events:         eng.Executed(),
+	}
+	if reg != nil {
+		reg.Collect()
+		if err := reg.Flush(); err != nil {
+			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
+		}
+		res.Telemetry = reg
 	}
 	if imb != nil {
 		res.ImbalanceCDF = imb.Values.CDF()

@@ -1,6 +1,7 @@
 package conga
 
 import (
+	"fmt"
 	"time"
 
 	"conga/internal/fabric"
@@ -8,6 +9,7 @@ import (
 	"conga/internal/mptcp"
 	"conga/internal/sim"
 	"conga/internal/tcp"
+	"conga/internal/telemetry"
 	"conga/internal/workload"
 )
 
@@ -32,6 +34,10 @@ type HDFSConfig struct {
 
 	// Timeout bounds the trial in simulated time.
 	Timeout time.Duration
+
+	// Telemetry, when non-nil, enables the observability subsystem (see
+	// FCTConfig.Telemetry); the registry returns in HDFSResult.Telemetry.
+	Telemetry *TelemetryOptions
 
 	Seed uint64
 }
@@ -73,6 +79,9 @@ type HDFSResult struct {
 	ReplicaBytes int64
 	// BackgroundFlows counts background transfers generated.
 	BackgroundFlows int
+
+	// Telemetry is the run's populated registry when requested.
+	Telemetry *TelemetryRegistry
 }
 
 // RunHDFS executes one Figure 14 trial.
@@ -83,7 +92,11 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 		return nil, err
 	}
 	eng := sim.New()
-	net, err := cfg.Topology.build(eng, fabScheme, DefaultParams(), nil, cfg.Seed)
+	var reg *TelemetryRegistry
+	if cfg.Telemetry != nil {
+		reg = telemetry.New(*cfg.Telemetry)
+	}
+	net, err := cfg.Topology.build(eng, fabScheme, DefaultParams(), nil, cfg.Seed, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +162,13 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 		res.JobCompletion = time.Duration(jobRes.CompletionTime)
 	} else {
 		res.JobCompletion = cfg.Timeout
+	}
+	if reg != nil {
+		reg.Collect()
+		if err := reg.Flush(); err != nil {
+			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
+		}
+		res.Telemetry = reg
 	}
 	return res, nil
 }

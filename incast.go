@@ -7,6 +7,7 @@ import (
 	"conga/internal/mptcp"
 	"conga/internal/sim"
 	"conga/internal/tcp"
+	"conga/internal/telemetry"
 )
 
 // IncastConfig describes the §5.3 Incast micro-benchmark: one client
@@ -25,6 +26,10 @@ type IncastConfig struct {
 	Rounds int
 	// Timeout bounds the whole run of simulated time.
 	Timeout time.Duration
+
+	// Telemetry, when non-nil, enables the observability subsystem (see
+	// FCTConfig.Telemetry); the registry returns in IncastResult.Telemetry.
+	Telemetry *TelemetryOptions
 
 	Seed uint64
 }
@@ -64,6 +69,9 @@ type IncastResult struct {
 	Drops uint64
 	// Timeouts aggregates sender RTOs, the Incast signature.
 	Timeouts uint64
+
+	// Telemetry is the run's populated registry when requested.
+	Telemetry *TelemetryRegistry
 }
 
 // RunIncast executes the Incast micro-benchmark and returns the effective
@@ -82,7 +90,11 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 	}
 
 	eng := sim.New()
-	net, err := cfg.Topology.build(eng, fabScheme, DefaultParams(), nil, cfg.Seed)
+	var reg *TelemetryRegistry
+	if cfg.Telemetry != nil {
+		reg = telemetry.New(*cfg.Telemetry)
+	}
+	net, err := cfg.Topology.build(eng, fabScheme, DefaultParams(), nil, cfg.Seed, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +186,13 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 		bytes := float64(perServer) * float64(cfg.Fanout) * float64(roundsDone)
 		goodput := bytes * 8 / busyTime.Seconds()
 		res.GoodputFraction = goodput / (cfg.Topology.AccessGbps * 1e9)
+	}
+	if reg != nil {
+		reg.Collect()
+		if err := reg.Flush(); err != nil {
+			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
+		}
+		res.Telemetry = reg
 	}
 	return res, nil
 }

@@ -32,8 +32,12 @@ type FlowletTable struct {
 	// Expired counts entries invalidated by gap detection; Collisions is
 	// not observable (hash collisions are indistinguishable from flowlet
 	// reuse by design), but Installs and Hits support the concurrency
-	// analysis in §2.6.1.
-	Installs, Hits, Expired uint64
+	// analysis in §2.6.1. Evicts counts installs that overwrote a
+	// still-valid entry (only possible via direct Install without a prior
+	// miss — the strategy path never does it, so nonzero Evicts flags an
+	// unexpected reuse pattern).
+	Installs, Hits, Expired, Evicts uint64
+	live                            int // valid-entry count, maintained O(1)
 }
 
 // NewFlowletTable returns a table with p.FlowletTableSize entries using
@@ -83,6 +87,7 @@ func (t *FlowletTable) Lookup(hash uint64, now sim.Time) (port int, active bool)
 	if t.mode == GapModeTimestamp && t.valid[i] && now-t.last[i] > t.tfl {
 		t.valid[i] = false
 		t.Expired++
+		t.live--
 	}
 	if t.valid[i] {
 		t.Hits++
@@ -101,7 +106,12 @@ func (t *FlowletTable) Lookup(hash uint64, now sim.Time) (port int, active bool)
 func (t *FlowletTable) Install(hash uint64, port int, now sim.Time) {
 	i := t.index(hash)
 	t.port[i] = int16(port)
-	t.valid[i] = true
+	if t.valid[i] {
+		t.Evicts++
+	} else {
+		t.valid[i] = true
+		t.live++
+	}
 	t.Installs++
 	if t.mode == GapModeAgeBit {
 		t.age[i] = false
@@ -134,6 +144,7 @@ func (t *FlowletTable) Sweep() {
 			t.valid[i] = false
 			t.listed[i] = false
 			t.Expired++
+			t.live--
 		} else {
 			t.age[i] = true
 			kept = append(kept, i)
@@ -141,6 +152,12 @@ func (t *FlowletTable) Sweep() {
 	}
 	t.active = kept
 }
+
+// Live returns the number of currently valid entries in O(1); the counter
+// is maintained by Install/Lookup/Sweep. In GapModeTimestamp it can
+// overcount entries whose gap has passed but which haven't been looked up
+// yet (expiry is lazy) — the same caveat the real table has.
+func (t *FlowletTable) Live() int { return t.live }
 
 // Active returns the number of currently valid entries; §2.6.1's
 // measurement analysis argues this stays small (hundreds) even on heavily

@@ -81,6 +81,28 @@ func (t *CongestionToLeaf) Metrics(destLeaf int, now sim.Time, dst []uint8) []ui
 	return dst[:len(row)]
 }
 
+// MaxMetric returns the largest aged metric for the given uplink across all
+// destination leaves — "how congested do remote paths through this uplink
+// look right now". Telemetry samples it per uplink; it reads (and ages)
+// metrics but never mutates the table.
+func (t *CongestionToLeaf) MaxMetric(uplink int, now sim.Time) uint8 {
+	var max uint8
+	for i := range t.metrics {
+		if v := t.metrics[i][uplink].get(now, t.ageTimeout); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Uplinks returns the number of local uplinks the table covers.
+func (t *CongestionToLeaf) Uplinks() int {
+	if len(t.metrics) == 0 {
+		return 0
+	}
+	return len(t.metrics[0])
+}
+
 // CongestionFromLeaf is the destination-side table (§3.3 step 3): per
 // source leaf, per LBTag, the latest CE metric seen on arriving packets,
 // waiting to be piggybacked back to that source. The table also tracks

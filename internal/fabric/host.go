@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"conga/internal/sim"
+	"conga/internal/telemetry"
 )
 
 // Host is an end system: one access link up to its leaf, and a demux table
@@ -19,6 +20,13 @@ type Host struct {
 	nextPort  int
 	RxPackets uint64
 	RxBytes   uint64
+
+	// Telemetry hooks, nil when telemetry is off. tcpTel is shared by
+	// every transport on the engine (fetched via TCPCounters at sender
+	// construction); trace records host-level send/recv events.
+	tcpTel    *telemetry.TCPCounters
+	trace     *telemetry.PacketTrace
+	traceName string
 }
 
 func newHost(id, leaf int, pool *PacketPool) *Host {
@@ -57,8 +65,17 @@ func (h *Host) AllocPort() int {
 // the addressing fields.
 func (h *Host) Send(p *Packet, now sim.Time) {
 	p.SrcHost = h.ID
+	if h.trace != nil {
+		h.trace.Record(now, telemetry.TraceSend, h.traceName, p.FlowID,
+			p.SrcHost, p.DstHost, p.SrcPort, p.DstPort, p.Seq, p.Payload)
+	}
 	h.out.Send(p, now)
 }
+
+// TCPCounters returns the engine-wide TCP telemetry counters, or nil when
+// telemetry is off. Transports fetch this once at construction and bump it
+// through a nil-checked pointer.
+func (h *Host) TCPCounters() *telemetry.TCPCounters { return h.tcpTel }
 
 // AccessLink returns the host's uplink to its leaf, for counters and fault
 // injection.
@@ -72,6 +89,10 @@ func (h *Host) AccessLink() *Link { return h.out }
 func (h *Host) handle(p *Packet, _ *Link, now sim.Time) {
 	h.RxPackets++
 	h.RxBytes += uint64(p.WireSize())
+	if h.trace != nil {
+		h.trace.Record(now, telemetry.TraceRecv, h.traceName, p.FlowID,
+			p.SrcHost, p.DstHost, p.SrcPort, p.DstPort, p.Seq, p.Payload)
+	}
 	if r, ok := h.recv[p.DstPort]; ok {
 		r.Receive(p, now)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"conga/internal/core"
 	"conga/internal/sim"
+	"conga/internal/telemetry"
 )
 
 // Link is a unidirectional link with a drop-tail output queue, a fixed
@@ -52,6 +53,11 @@ type Link struct {
 	TxBytes   uint64 // wire bytes actually serialized
 	Drops     uint64
 	DropBytes uint64
+
+	// Telemetry hooks, nil when telemetry is off: every instrumentation
+	// site below is a single nil check (see internal/telemetry).
+	tel   *telemetry.LinkCounters
+	trace *telemetry.PacketTrace
 }
 
 // LinkConfig parameterizes NewLink.
@@ -115,6 +121,9 @@ func (l *Link) SetUp(up bool) {
 	if !up {
 		for _, p := range l.queue[l.qhead:] {
 			l.Drops++
+			if l.tel != nil {
+				l.tel.Drops++
+			}
 			l.pool.Put(p)
 		}
 		l.queue = l.queue[:0]
@@ -155,6 +164,7 @@ func (l *Link) Send(p *Packet, now sim.Time) {
 	if !l.up {
 		l.Drops++
 		l.DropBytes += uint64(l.wireSize(p))
+		l.noteDrop(p, now)
 		l.pool.Put(p)
 		return
 	}
@@ -162,14 +172,33 @@ func (l *Link) Send(p *Packet, now sim.Time) {
 		if l.qlen+l.wireSize(p) > l.maxQ {
 			l.Drops++
 			l.DropBytes += uint64(l.wireSize(p))
+			l.noteDrop(p, now)
 			l.pool.Put(p)
 			return
 		}
 		l.queue = append(l.queue, p)
 		l.qlen += l.wireSize(p)
+		if l.tel != nil {
+			l.tel.Enqueues++
+		}
 		return
 	}
+	if l.tel != nil {
+		l.tel.Enqueues++
+	}
 	l.transmit(p, now)
+}
+
+// noteDrop feeds the telemetry hooks on a drop; both hooks are nil with
+// telemetry off, making this two predictable branches on the drop path.
+func (l *Link) noteDrop(p *Packet, now sim.Time) {
+	if l.tel != nil {
+		l.tel.Drops++
+	}
+	if l.trace != nil {
+		l.trace.Record(now, telemetry.TraceDrop, l.Name, p.FlowID,
+			p.SrcHost, p.DstHost, p.SrcPort, p.DstPort, p.Seq, p.Payload)
+	}
 }
 
 func (l *Link) transmit(p *Packet, now sim.Time) {
@@ -181,7 +210,15 @@ func (l *Link) transmit(p *Packet, now sim.Time) {
 	// start models the ASIC updating the field as the packet leaves the
 	// port.
 	if l.fab {
-		p.Hdr.CE = core.MarkCE(l.pathMetric, p.Hdr.CE, l.dre.Quantized())
+		if l.tel != nil {
+			prev := p.Hdr.CE
+			p.Hdr.CE = core.MarkCE(l.pathMetric, p.Hdr.CE, l.dre.Quantized())
+			if p.Hdr.CE > prev {
+				l.tel.CEMarks++
+			}
+		} else {
+			p.Hdr.CE = core.MarkCE(l.pathMetric, p.Hdr.CE, l.dre.Quantized())
+		}
 		l.dre.Add(size)
 		if !l.dreListed && l.dreNotify != nil {
 			l.dreListed = true
@@ -198,6 +235,9 @@ func (l *Link) txDone(now sim.Time) {
 	l.txPkt = nil
 	l.TxPackets++
 	l.TxBytes += uint64(size)
+	if l.tel != nil {
+		l.tel.Dequeues++
+	}
 	if l.up {
 		// Delivery events for this link all share l.deliverFn; the inflight
 		// FIFO maps each firing back to its packet. That pairing is sound
@@ -207,6 +247,7 @@ func (l *Link) txDone(now sim.Time) {
 		l.inflight = append(l.inflight, p)
 		l.eng.At(now+l.prop, l.deliverFn)
 	} else {
+		l.noteDrop(p, now)
 		l.pool.Put(p)
 	}
 	l.next(now)

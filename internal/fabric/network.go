@@ -5,6 +5,7 @@ import (
 
 	"conga/internal/core"
 	"conga/internal/sim"
+	"conga/internal/telemetry"
 )
 
 // Config describes a Leaf-Spine fabric. Zero fields take the defaults of
@@ -55,6 +56,13 @@ type Config struct {
 
 	Seed uint64
 	VNI  uint32
+
+	// Telemetry, when non-nil, wires the registry's probes through the
+	// fabric: per-link counters and trace hooks, and series sampled on the
+	// existing DRE-decay and flowlet-sweep tickers (no extra events are
+	// scheduled, so the executed-event count is identical with telemetry
+	// on or off). The registry must be private to this network's engine.
+	Telemetry *telemetry.Registry
 }
 
 // WithDefaults returns cfg with unset fields filled in.
@@ -152,6 +160,17 @@ type Network struct {
 	dreActive   []*Link // fabric links with a nonzero DRE register (decay dirty-list)
 	rng         *sim.Rand
 	pool        *PacketPool
+
+	// Telemetry series, parallel to fabricLinks / Leaves; all nil when
+	// series probes are off. Samples are taken inside the existing ticker
+	// callbacks (see NewNetwork) so telemetry adds no events.
+	tel         *telemetry.Registry
+	telQueue    []*telemetry.Series   // queue depth per fabric link
+	telDRE      []*telemetry.Series   // DRE register per fabric link
+	telFlowlet  []*telemetry.Series   // live flowlet entries per leaf (nil entry: no table)
+	telFlTables []*core.FlowletTable  // table behind telFlowlet[i]
+	telTbl      [][]*telemetry.Series // CongestionToLeaf max metric per leaf per uplink
+	telLeafCore []*core.Leaf          // CONGA state behind telTbl[i]
 }
 
 // noteDREActive is each fabric link's dreNotify hook: it runs on the first
@@ -247,15 +266,20 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 		ls.strategy = n.newStrategy(ls)
 	}
 
+	// Telemetry hooks and series (no-op when cfg.Telemetry is nil).
+	n.wireTelemetry(cfg.Telemetry)
+
 	// DRE decay: one ticker drives the estimators of links that carried
 	// traffic recently. Links register themselves on first transmission
 	// (Link.transmit) and are dropped once their register decays to zero,
-	// so an idle fabric does no per-link work per period.
+	// so an idle fabric does no per-link work per period. Telemetry rides
+	// this ticker for its queue/DRE samples instead of scheduling its own
+	// events, keeping the executed-event count identical either way.
 	notify := n.noteDREActive
 	for _, l := range n.fabricLinks {
 		l.dreNotify = notify
 	}
-	sim.NewTicker(eng, cfg.Params.TDRE, func(sim.Time) {
+	sim.NewTicker(eng, cfg.Params.TDRE, func(now sim.Time) {
 		kept := n.dreActive[:0]
 		for _, l := range n.dreActive {
 			l.dre.Decay()
@@ -269,15 +293,123 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 			n.dreActive[i] = nil
 		}
 		n.dreActive = kept
+		if n.telQueue != nil {
+			n.sampleLinkSeries(now)
+		}
 	})
-	// Flowlet age sweep per leaf, every Tfl.
+	// Flowlet age sweep per leaf, every Tfl; telemetry samples table
+	// occupancy and congestion-table metrics on the same tick.
 	sim.NewTicker(eng, cfg.Params.Tfl, func(now sim.Time) {
 		for _, ls := range n.Leaves {
 			ls.strategy.Tick(now)
 		}
+		if n.telFlowlet != nil {
+			n.sampleLeafSeries(now)
+		}
 	})
 	return n, nil
 }
+
+// flowletCarrier is implemented by strategies that keep a flowlet table
+// (CONGA, CONGA-Flow, local); congaCarrier by those with full CONGA state.
+// Optional interfaces keep Strategy itself unchanged for implementers.
+type flowletCarrier interface{ FlowletTable() *core.FlowletTable }
+type congaCarrier interface{ Core() *core.Leaf }
+
+// wireTelemetry attaches the registry's hooks to every link and host and
+// registers the series probes and counter collectors. It must run before
+// the simulation starts; it never runs during one.
+func (n *Network) wireTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	n.tel = reg
+	tr := reg.Trace()
+	hook := func(l *Link) {
+		l.tel = reg.Link(l.Name)
+		l.trace = tr
+	}
+	for _, l := range n.fabricLinks {
+		hook(l)
+	}
+	for _, h := range n.Hosts {
+		hook(h.out)
+		h.tcpTel = reg.TCP()
+		h.trace = tr
+		h.traceName = fmt.Sprintf("h%d", h.ID)
+	}
+	for _, ls := range n.Leaves {
+		for _, l := range ls.downlinks {
+			hook(l)
+		}
+	}
+
+	series := reg.Options().Series
+	if series {
+		n.telQueue = make([]*telemetry.Series, len(n.fabricLinks))
+		n.telDRE = make([]*telemetry.Series, len(n.fabricLinks))
+		for i, l := range n.fabricLinks {
+			n.telQueue[i] = reg.NewSeries("queue."+l.Name, "bytes")
+			n.telDRE[i] = reg.NewSeries("dre."+l.Name, "bytes")
+		}
+		n.telFlowlet = make([]*telemetry.Series, len(n.Leaves))
+		n.telFlTables = make([]*core.FlowletTable, len(n.Leaves))
+		n.telTbl = make([][]*telemetry.Series, len(n.Leaves))
+		n.telLeafCore = make([]*core.Leaf, len(n.Leaves))
+	}
+	for i, ls := range n.Leaves {
+		fc, ok := ls.strategy.(flowletCarrier)
+		if !ok {
+			continue
+		}
+		leafID, table := ls.ID, fc.FlowletTable()
+		reg.AddCollector(func() {
+			reg.RecordFlowlets(leafID, table.Installs, table.Expired, table.Evicts)
+		})
+		if !series {
+			continue
+		}
+		n.telFlowlet[i] = reg.NewSeries(fmt.Sprintf("flowlets.leaf%d", leafID), "entries")
+		n.telFlTables[i] = table
+		if cc, ok := ls.strategy.(congaCarrier); ok {
+			cl := cc.Core()
+			row := make([]*telemetry.Series, len(ls.uplinks))
+			for u := range row {
+				row[u] = reg.NewSeries(fmt.Sprintf("congtbl.leaf%d.up%d", leafID, u), "metric")
+			}
+			n.telTbl[i] = row
+			n.telLeafCore[i] = cl
+		}
+	}
+}
+
+// sampleLinkSeries records queue depth and DRE register for every fabric
+// link; called from the DRE-decay ticker when series probes are on.
+func (n *Network) sampleLinkSeries(now sim.Time) {
+	for i, l := range n.fabricLinks {
+		n.telQueue[i].Observe(now, float64(l.qlen))
+		n.telDRE[i].Observe(now, l.dre.X())
+	}
+}
+
+// sampleLeafSeries records flowlet-table occupancy and per-uplink
+// CongestionToLeaf max metrics; called from the flowlet-sweep ticker.
+func (n *Network) sampleLeafSeries(now sim.Time) {
+	for i := range n.Leaves {
+		if s := n.telFlowlet[i]; s != nil {
+			s.Observe(now, float64(n.telFlTables[i].Live()))
+		}
+		if row := n.telTbl[i]; row != nil {
+			cl := n.telLeafCore[i]
+			for u, su := range row {
+				su.Observe(now, float64(cl.ToLeaf.MaxMetric(u, now)))
+			}
+		}
+	}
+}
+
+// Telemetry returns the registry wired into this network, or nil.
+func (n *Network) Telemetry() *telemetry.Registry { return n.tel }
 
 // MustNetwork is NewNetwork for tests and examples where a config error is
 // a programming bug.

@@ -171,6 +171,10 @@ func (s *congaStrategy) Name() string { return s.name }
 // Core returns the underlying algorithm state, for tests and diagnostics.
 func (s *congaStrategy) Core() *core.Leaf { return s.leaf }
 
+// FlowletTable exposes the leaf's flowlet table for telemetry; strategies
+// without one simply don't implement the method (see Network.wireTelemetry).
+func (s *congaStrategy) FlowletTable() *core.FlowletTable { return s.leaf.Flowlets }
+
 func (s *congaStrategy) SelectUplink(p *Packet, dstLeaf int, now sim.Time) int {
 	usable := s.ls.PathUsable(dstLeaf)
 	for i, l := range s.ls.uplinks {
@@ -234,6 +238,9 @@ func newLocalStrategy(ls *LeafSwitch, p core.Params, rng *sim.Rand) *localStrate
 }
 
 func (s *localStrategy) Name() string { return "local" }
+
+// FlowletTable exposes the strategy's flowlet table for telemetry.
+func (s *localStrategy) FlowletTable() *core.FlowletTable { return s.flowlets }
 
 func (s *localStrategy) SelectUplink(p *Packet, dstLeaf int, now sim.Time) int {
 	hash := flowHash(p)

@@ -14,18 +14,67 @@ import (
 )
 
 // Sample is an online collection of float64 observations with quantile
-// support. The zero value is ready to use.
+// support. The zero value is ready to use and retains every observation;
+// Reservoir switches it to bounded memory.
 type Sample struct {
 	values []float64
 	sorted bool
 	sum    float64
+
+	// Reservoir state. limit == 0 means unbounded (retain everything);
+	// otherwise at most limit observations are kept via Algorithm R. The
+	// scalar statistics are tracked online over all seen observations so
+	// they stay exact either way.
+	limit    int
+	rng      *sim.Rand
+	seen     int
+	min, max float64
 }
+
+// Reservoir switches the sample into bounded-memory mode: at most limit
+// observations are retained, each of the n seen so far kept with equal
+// probability limit/n (Vitter's Algorithm R, seeded deterministically).
+// Mean, Min, Max and N remain exact — they are tracked online over every
+// observation — while Quantile, StdDev and CDF become estimates computed
+// over the retained subset. It must be called before the first Add.
+func (s *Sample) Reservoir(limit int, seed uint64) {
+	if limit <= 0 {
+		panic("stats: Reservoir with non-positive limit")
+	}
+	if s.seen > 0 {
+		panic("stats: Reservoir after observations were added")
+	}
+	s.limit = limit
+	s.rng = sim.NewRand(seed)
+	s.Reserve(limit)
+}
+
+// Retained returns how many observations are held in memory. It equals N()
+// unless a Reservoir limit has evicted some.
+func (s *Sample) Retained() int { return len(s.values) }
 
 // Add records one observation.
 func (s *Sample) Add(v float64) {
+	if s.seen == 0 || v < s.min {
+		s.min = v
+	}
+	if s.seen == 0 || v > s.max {
+		s.max = v
+	}
+	s.seen++
+	s.sum += v
+	if s.limit > 0 && len(s.values) >= s.limit {
+		// Replace a uniformly random slot with probability limit/seen.
+		// Sorting between adds is harmless: Algorithm R only needs the
+		// victim to be a uniform member of the retained multiset.
+		if j := s.rng.Intn(s.seen); j < s.limit {
+			s.values[j] = v
+			s.sorted = false
+		}
+		return
+	}
 	s.values = append(s.values, v)
 	s.sorted = false
-	s.sum += v
 }
 
 // Reserve grows the sample's capacity to hold at least n observations, so
@@ -40,15 +89,17 @@ func (s *Sample) Reserve(n int) {
 	s.values = v
 }
 
-// N returns the observation count.
-func (s *Sample) N() int { return len(s.values) }
+// N returns the observation count — everything seen, including
+// observations a Reservoir limit has since evicted.
+func (s *Sample) N() int { return s.seen }
 
-// Mean returns the average (0 for an empty sample).
+// Mean returns the average over all observations (0 for an empty sample).
+// It is exact even in reservoir mode.
 func (s *Sample) Mean() float64 {
-	if len(s.values) == 0 {
+	if s.seen == 0 {
 		return 0
 	}
-	return s.sum / float64(len(s.values))
+	return s.sum / float64(s.seen)
 }
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank: the smallest
@@ -59,13 +110,13 @@ func (s *Sample) Quantile(q float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	s.sort()
 	if q <= 0 {
-		return s.values[0]
+		return s.min
 	}
 	if q >= 1 {
-		return s.values[n-1]
+		return s.max
 	}
+	s.sort()
 	idx := int(math.Ceil(q*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
@@ -76,25 +127,14 @@ func (s *Sample) Quantile(q float64) float64 {
 	return s.values[idx]
 }
 
-// Max returns the largest observation.
-func (s *Sample) Max() float64 {
-	if len(s.values) == 0 {
-		return 0
-	}
-	s.sort()
-	return s.values[len(s.values)-1]
-}
+// Max returns the largest observation. Exact even in reservoir mode.
+func (s *Sample) Max() float64 { return s.max }
 
-// Min returns the smallest observation.
-func (s *Sample) Min() float64 {
-	if len(s.values) == 0 {
-		return 0
-	}
-	s.sort()
-	return s.values[0]
-}
+// Min returns the smallest observation. Exact even in reservoir mode.
+func (s *Sample) Min() float64 { return s.min }
 
-// StdDev returns the population standard deviation.
+// StdDev returns the population standard deviation, computed over the
+// retained observations (an estimate in reservoir mode).
 func (s *Sample) StdDev() float64 {
 	n := len(s.values)
 	if n == 0 {

@@ -19,6 +19,7 @@ import (
 
 	"conga/internal/fabric"
 	"conga/internal/sim"
+	"conga/internal/telemetry"
 )
 
 // Config holds transport parameters. The zero value is not valid; use
@@ -159,6 +160,9 @@ type Sender struct {
 	OnAcked func(bytes int64, now sim.Time)
 
 	stats Stats
+	// tel mirrors loss-recovery counters into the engine-wide telemetry
+	// registry; nil when telemetry is off (every bump is one nil check).
+	tel   *telemetry.TCPCounters
 	freed bool
 }
 
@@ -183,6 +187,7 @@ func NewSender(eng *sim.Engine, host *fabric.Host, flowID uint64, dstHost, dstPo
 		lastRetx: -1,
 	}
 	s.onTimeoutFn = s.onTimeout
+	s.tel = host.TCPCounters()
 	host.Bind(s.srcPort, s)
 	return s
 }
@@ -310,6 +315,9 @@ func (s *Sender) onTimeout(now sim.Time) {
 		return // everything acked while the timer raced
 	}
 	s.stats.Timeouts++
+	if s.tel != nil {
+		s.tel.Timeouts++
+	}
 	// RFC 5681 §3.1 / RFC 6298 §5: collapse to one segment, halve
 	// ssthresh, back the timer off, and go back to snd.una.
 	flight := float64(s.Outstanding())
@@ -330,6 +338,9 @@ func (s *Sender) onTimeout(now sim.Time) {
 	}
 	s.lastRetx = now
 	s.stats.RetxSegments++
+	if s.tel != nil {
+		s.tel.Retransmits++
+	}
 	// Retransmit one segment; trySend re-arms the timer with the
 	// backed-off RTO.
 	s.trySend(now)
@@ -456,6 +467,9 @@ func (s *Sender) retransmitNextHole(now sim.Time) bool {
 	}
 	s.lastRetx = now
 	s.stats.RetxSegments++
+	if s.tel != nil {
+		s.tel.Retransmits++
+	}
 	s.emit(seq, size, now)
 	s.retxMark = seq + int64(size)
 	s.retxPipe += int64(size)
@@ -600,6 +614,9 @@ func (s *Sender) grow(acked int) {
 
 func (s *Sender) onDupAck(now sim.Time) {
 	s.stats.DupAcksSeen++
+	if s.tel != nil {
+		s.tel.DupAcks++
+	}
 	if s.state == stateRecovery {
 		// Each arriving ACK signals a departure; send what the pipe
 		// allows (hole repairs before new data).
@@ -615,6 +632,9 @@ func (s *Sender) onDupAck(now sim.Time) {
 		// change (flowlet move, packet spraying) produces dup ACKs that
 		// resolve on their own within the reordering window.
 		if !s.reorderTimer.Pending() {
+			if s.tel != nil {
+				s.tel.ReorderDefers++
+			}
 			armedAt := s.sndUna
 			s.reorderTimer = s.eng.After(s.cfg.ReorderWindow, func(now sim.Time) {
 				if s.freed || s.state == stateRecovery {
@@ -634,6 +654,9 @@ func (s *Sender) onDupAck(now sim.Time) {
 func (s *Sender) enterRecovery(now sim.Time) {
 	s.stats.FastRetx++
 	s.stats.RecoveryEvents++
+	if s.tel != nil {
+		s.tel.FastRetx++
+	}
 	s.state = stateRecovery
 	s.recover = s.sndNxt
 	s.retxMark = s.sndUna

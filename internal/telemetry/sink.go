@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Sink receives a registry's probes at flush time. Sinks run only after the
+// engine has stopped, so their cost never perturbs simulation order.
+type Sink interface {
+	Counters(rows []CounterRow) error
+	Series(s *Series) error
+	Trace(tr *PacketTrace) error
+}
+
+// sanitizeName makes a probe name filesystem-safe: "->" collapses to "-",
+// any other character outside [A-Za-z0-9._-] becomes "-".
+func sanitizeName(name string) string {
+	name = strings.ReplaceAll(name, "->", "-")
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, name)
+}
+
+func writeFile(dir, name string, emit func(w *bufio.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := emit(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CSVSink writes one CSV file per probe into Dir: counters.csv,
+// series_<name>.csv (columns time_ns,value), trace.csv.
+type CSVSink struct {
+	Dir string
+}
+
+// Counters implements Sink.
+func (s CSVSink) Counters(rows []CounterRow) error {
+	return writeFile(s.Dir, "counters.csv", func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "group,name,counter,value")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s,%s,%s,%d\n", r.Group, csvField(r.Name), r.Counter, r.Value)
+		}
+		return nil
+	})
+}
+
+// Series implements Sink.
+func (s CSVSink) Series(sr *Series) error {
+	name := "series_" + sanitizeName(sr.Name()) + ".csv"
+	return writeFile(s.Dir, name, func(w *bufio.Writer) error {
+		fmt.Fprintf(w, "time_ns,value\n")
+		for _, p := range sr.Points() {
+			fmt.Fprintf(w, "%d,%s\n", int64(p.T), formatFloat(p.V))
+		}
+		return nil
+	})
+}
+
+// Trace implements Sink.
+func (s CSVSink) Trace(tr *PacketTrace) error {
+	return writeFile(s.Dir, "trace.csv", func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "time_ns,event,where,flow,src,dst,sport,dport,seq,payload")
+		for _, e := range tr.Events() {
+			fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,%d,%d,%d,%d\n",
+				int64(e.T), e.Kind, csvField(e.Where), e.FlowID,
+				e.Src, e.Dst, e.SrcPort, e.DstPort, e.Seq, e.Payload)
+		}
+		return nil
+	})
+}
+
+// csvField quotes a value if it contains a comma or quote (link names like
+// "l0->s0.0" are clean, but be safe for arbitrary probe names).
+func csvField(v string) string {
+	if strings.ContainsAny(v, ",\"\n") {
+		return `"` + strings.ReplaceAll(v, `"`, `""`) + `"`
+	}
+	return v
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// NDJSONSink writes one newline-delimited-JSON file per probe into Dir:
+// counters.ndjson, series_<name>.ndjson, trace.ndjson. Rows are hand-built
+// (fields are numbers and already-sanitized short strings), keeping flush
+// cheap for large traces.
+type NDJSONSink struct {
+	Dir string
+}
+
+// Counters implements Sink.
+func (s NDJSONSink) Counters(rows []CounterRow) error {
+	return writeFile(s.Dir, "counters.ndjson", func(w *bufio.Writer) error {
+		for _, r := range rows {
+			fmt.Fprintf(w, `{"group":%s,"name":%s,"counter":%s,"value":%d}`+"\n",
+				jsonString(r.Group), jsonString(r.Name), jsonString(r.Counter), r.Value)
+		}
+		return nil
+	})
+}
+
+// Series implements Sink.
+func (s NDJSONSink) Series(sr *Series) error {
+	name := "series_" + sanitizeName(sr.Name()) + ".ndjson"
+	unit := jsonString(sr.Unit())
+	probe := jsonString(sr.Name())
+	return writeFile(s.Dir, name, func(w *bufio.Writer) error {
+		for _, p := range sr.Points() {
+			fmt.Fprintf(w, `{"probe":%s,"unit":%s,"time_ns":%d,"value":%s}`+"\n",
+				probe, unit, int64(p.T), jsonFloat(p.V))
+		}
+		return nil
+	})
+}
+
+// Trace implements Sink.
+func (s NDJSONSink) Trace(tr *PacketTrace) error {
+	return writeFile(s.Dir, "trace.ndjson", func(w *bufio.Writer) error {
+		for _, e := range tr.Events() {
+			fmt.Fprintf(w, `{"time_ns":%d,"event":%s,"where":%s,"flow":%d,"src":%d,"dst":%d,"sport":%d,"dport":%d,"seq":%d,"payload":%d}`+"\n",
+				int64(e.T), jsonString(e.Kind.String()), jsonString(e.Where),
+				e.FlowID, e.Src, e.Dst, e.SrcPort, e.DstPort, e.Seq, e.Payload)
+		}
+		return nil
+	})
+}
+
+// jsonString quotes a string for JSON; probe and link names contain no
+// control characters, but escape quotes and backslashes to stay correct.
+func jsonString(v string) string {
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// jsonFloat renders a float as a valid JSON number (NaN/Inf become null —
+// probes never produce them, but the output must stay parseable).
+func jsonFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if strings.ContainsAny(s, "NI") { // NaN, +Inf, -Inf
+		return "null"
+	}
+	return s
+}

@@ -1,0 +1,318 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"conga/internal/sim"
+)
+
+// --- nil safety -----------------------------------------------------------
+
+func TestNilRegistryIsOff(t *testing.T) {
+	var r *Registry
+	if r.Link("a") != nil || r.TCP() != nil || r.Trace() != nil || r.NewSeries("x", "u") != nil {
+		t.Fatal("nil registry handed out a live hook")
+	}
+	if r.CounterRows() != nil || r.AllSeries() != nil {
+		t.Fatal("nil registry returned rows")
+	}
+	r.Collect()
+	r.RecordFlowlets(0, 1, 2, 3)
+	if err := r.Flush(); err != nil {
+		t.Fatalf("nil Flush: %v", err)
+	}
+	var s *Series
+	s.Observe(1, 2)
+	if s.Len() != 0 || s.Stride() != 0 || s.Max() != 0 || (s.Last() != Point{}) {
+		t.Fatal("nil series recorded")
+	}
+	var tr *PacketTrace
+	tr.Record(1, TraceSend, "h0", 1, 0, 1, 2, 3, 4, 5)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace recorded")
+	}
+}
+
+func TestDisabledOptionsHandOutNil(t *testing.T) {
+	r := New(Options{}) // everything off
+	if r.Link("a") != nil || r.TCP() != nil || r.Trace() != nil || r.NewSeries("x", "u") != nil {
+		t.Fatal("disabled registry handed out a live hook")
+	}
+	if rows := r.CounterRows(); len(rows) != 0 {
+		t.Fatalf("disabled registry produced %d counter rows", len(rows))
+	}
+}
+
+// --- series downsampling --------------------------------------------------
+
+// TestSeriesDownsampling drives a series well past its capacity and checks
+// the invariants the probe design rests on: memory stays bounded, samples
+// stay time-ordered on a uniform stride grid, and the buffer spans the whole
+// run rather than only its head or tail.
+func TestSeriesDownsampling(t *testing.T) {
+	const capacity = 8
+	r := New(Options{Series: true, SeriesCap: capacity})
+	s := r.NewSeries("q", "bytes")
+	const total = 1000
+	for i := 0; i < total; i++ {
+		s.Observe(sim.Time(i*10), float64(i))
+	}
+	if s.Len() > capacity {
+		t.Fatalf("series grew to %d > cap %d", s.Len(), capacity)
+	}
+	if s.Len() < capacity/2 {
+		t.Fatalf("series kept only %d of cap %d points", s.Len(), capacity)
+	}
+	pts := s.Points()
+	stride := s.Stride()
+	if stride < total/capacity {
+		t.Fatalf("stride %d too small to have bounded %d observations", stride, total)
+	}
+	for i := 1; i < len(pts); i++ {
+		if gap := pts[i].T - pts[i-1].T; gap != sim.Time(stride*10) {
+			t.Fatalf("gap %v between points %d and %d, want uniform %v", gap, i-1, i, stride*10)
+		}
+	}
+	if pts[0].T != 0 {
+		t.Fatalf("first retained point at %v, want 0 (run start)", pts[0].T)
+	}
+	if last := pts[len(pts)-1]; total-int(last.V) > 2*stride {
+		t.Fatalf("last retained point %v too far from the end of the run", last)
+	}
+	if s.Max() != pts[len(pts)-1].V {
+		t.Fatalf("Max %v, want %v for a monotone series", s.Max(), pts[len(pts)-1].V)
+	}
+}
+
+func TestSeriesCapForcedEven(t *testing.T) {
+	r := New(Options{Series: true, SeriesCap: 7})
+	if got := r.Options().SeriesCap; got != 8 {
+		t.Fatalf("SeriesCap 7 normalized to %d, want 8", got)
+	}
+}
+
+func TestNewSeriesSameNameSameBuffer(t *testing.T) {
+	r := New(Options{Series: true})
+	a, b := r.NewSeries("q", "bytes"), r.NewSeries("q", "bytes")
+	if a != b {
+		t.Fatal("same name returned distinct series")
+	}
+	if r.Series("q") != a || r.Series("missing") != nil {
+		t.Fatal("Series lookup broken")
+	}
+	if len(r.AllSeries()) != 1 {
+		t.Fatalf("AllSeries has %d entries, want 1", len(r.AllSeries()))
+	}
+}
+
+// --- packet trace ---------------------------------------------------------
+
+func TestTraceFilter(t *testing.T) {
+	record := func(tr *PacketTrace) {
+		tr.Record(1, TraceSend, "h0", 7, 0, 1, 100, 200, 0, 1460)
+		tr.Record(2, TraceSend, "h0", 8, 0, 1, 100, 200, 0, 1460) // other flow
+		tr.Record(3, TraceSend, "h2", 7, 2, 1, 100, 200, 0, 1460) // other src
+		tr.Record(4, TraceRecv, "h1", 7, 0, 1, 100, 201, 0, 1460) // other dport
+	}
+	cases := []struct {
+		name   string
+		filter Filter
+		want   int
+	}{
+		{"zero value matches all", Filter{}, 4},
+		{"match-all", MatchAll(), 4},
+		{"by flow", Filter{FlowID: 7, SrcHost: -1, DstHost: -1, SrcPort: -1, DstPort: -1}, 3},
+		{"by src host", Filter{FlowID: -1, SrcHost: 0, DstHost: -1, SrcPort: -1, DstPort: -1}, 3},
+		{"by dst port", Filter{FlowID: -1, SrcHost: -1, DstHost: -1, SrcPort: -1, DstPort: 200}, 3},
+		{"flow and src", Filter{FlowID: 7, SrcHost: 0, DstHost: -1, SrcPort: -1, DstPort: -1}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := newPacketTrace(16, c.filter.normalized())
+			record(tr)
+			if tr.Len() != c.want {
+				t.Fatalf("recorded %d events, want %d", tr.Len(), c.want)
+			}
+		})
+	}
+}
+
+func TestTraceSampleEvery(t *testing.T) {
+	f := MatchAll()
+	f.SampleEvery = 4
+	tr := newPacketTrace(100, f)
+	for i := 0; i < 20; i++ {
+		tr.Record(sim.Time(i), TraceSend, "h0", 1, 0, 1, 1, 1, int64(i), 1)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("recorded %d of 20 at SampleEvery=4, want 5", tr.Len())
+	}
+	for i, ev := range tr.Events() {
+		if ev.Seq != int64(i*4) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i*4)
+		}
+	}
+}
+
+func TestTraceCapAndSuppressed(t *testing.T) {
+	tr := newPacketTrace(4, MatchAll())
+	for i := 0; i < 10; i++ {
+		tr.Record(sim.Time(i), TraceDrop, "l0", 1, 0, 1, 1, 1, 0, 1)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("buffer holds %d, want cap 4", tr.Len())
+	}
+	if tr.Suppressed != 6 {
+		t.Fatalf("Suppressed %d, want 6", tr.Suppressed)
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	if TraceSend.String() != "send" || TraceRecv.String() != "recv" || TraceDrop.String() != "drop" {
+		t.Fatal("TraceKind names wrong")
+	}
+}
+
+// --- counters and rows ----------------------------------------------------
+
+func TestCounterRowsDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := New(Options{Counters: true})
+		r.Link("l0->s0").Enqueues = 10
+		r.Link("l1->s0").Drops = 2
+		r.TCP().Retransmits = 3
+		r.RecordFlowlets(1, 5, 4, 0)
+		r.RecordFlowlets(0, 7, 6, 1)
+		return r
+	}
+	a, b := build().CounterRows(), build().CounterRows()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Flowlet rows must come out sorted by leaf regardless of record order.
+	var flowletNames []string
+	for _, row := range a {
+		if row.Group == "flowlet" && row.Counter == "creates" {
+			flowletNames = append(flowletNames, row.Name)
+		}
+	}
+	if len(flowletNames) != 2 || flowletNames[0] != "leaf0" || flowletNames[1] != "leaf1" {
+		t.Fatalf("flowlet rows out of order: %v", flowletNames)
+	}
+}
+
+func TestRecordFlowletsOverwrites(t *testing.T) {
+	r := New(Options{Counters: true})
+	r.RecordFlowlets(0, 1, 1, 0)
+	r.RecordFlowlets(0, 9, 8, 7)
+	c, e, v := r.FlowletTotals()
+	if c != 9 || e != 8 || v != 7 {
+		t.Fatalf("totals %d/%d/%d after overwrite, want 9/8/7", c, e, v)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	r := New(Options{Counters: true})
+	r.Link("a").Enqueues = 5
+	r.Link("a").Dequeues = 4
+	r.Link("b").Drops = 1
+	r.Link("b").CEMarks = 2
+	enq, deq, drops, ce := r.LinkTotals()
+	if enq != 5 || deq != 4 || drops != 1 || ce != 2 {
+		t.Fatalf("link totals %d/%d/%d/%d", enq, deq, drops, ce)
+	}
+	r.TCP().Timeouts = 6
+	if r.TCPTotals().Timeouts != 6 {
+		t.Fatal("TCP totals not visible")
+	}
+}
+
+func TestCollectorsRunOnCollect(t *testing.T) {
+	r := New(Options{Counters: true})
+	n := 0
+	r.AddCollector(func() { n++; r.RecordFlowlets(0, uint64(n), 0, 0) })
+	r.Collect()
+	r.Collect()
+	if n != 2 {
+		t.Fatalf("collector ran %d times, want 2", n)
+	}
+	if c, _, _ := r.FlowletTotals(); c != 2 {
+		t.Fatalf("collector result not overwritten: creates %d, want 2", c)
+	}
+}
+
+// --- sinks ----------------------------------------------------------------
+
+func TestFlushWritesCSVAndNDJSON(t *testing.T) {
+	dir := t.TempDir()
+	r := New(All(filepath.Join(dir, "out")))
+	r.Link("l0->s0.0").Enqueues = 42
+	r.TCP().Retransmits = 7
+	s := r.NewSeries("queue.l0->s0.0", "bytes")
+	s.Observe(10, 1.5)
+	s.Observe(20, 2.5)
+	r.Trace().Record(5, TraceSend, "h0", 1, 0, 1, 100, 200, 0, 1460)
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	read := func(name string) string {
+		b, err := os.ReadFile(filepath.Join(dir, "out", name))
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		return string(b)
+	}
+	if got := read("counters.csv"); !strings.Contains(got, "link,l0->s0.0,enqueues,42") ||
+		!strings.Contains(got, "tcp,,retransmits,7") {
+		t.Fatalf("counters.csv missing rows:\n%s", got)
+	}
+	if got := read("counters.ndjson"); !strings.Contains(got, `"counter":"enqueues"`) ||
+		!strings.Contains(got, `"value":42`) {
+		t.Fatalf("counters.ndjson missing rows:\n%s", got)
+	}
+	// "->" sanitizes to "-" in file names.
+	if got := read("series_queue.l0-s0.0.csv"); !strings.Contains(got, "10,1.5") ||
+		!strings.Contains(got, "20,2.5") {
+		t.Fatalf("series csv wrong:\n%s", got)
+	}
+	if got := read("series_queue.l0-s0.0.ndjson"); !strings.Contains(got, `"time_ns":10`) ||
+		!strings.Contains(got, `"value":1.5`) {
+		t.Fatalf("series ndjson wrong:\n%s", got)
+	}
+	if got := read("trace.csv"); !strings.Contains(got, "send") || !strings.Contains(got, "h0") {
+		t.Fatalf("trace.csv wrong:\n%s", got)
+	}
+	if got := read("trace.ndjson"); !strings.Contains(got, `"event":"send"`) {
+		t.Fatalf("trace.ndjson wrong:\n%s", got)
+	}
+}
+
+func TestFlushWithoutDirIsNoop(t *testing.T) {
+	r := New(Options{Counters: true})
+	r.Link("a").Enqueues = 1
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush with no dir: %v", err)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"queue.l0->s0.0": "queue.l0-s0.0",
+		"plain":          "plain",
+		"a b/c":          "a-b-c",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Fatalf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

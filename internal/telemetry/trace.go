@@ -1,0 +1,142 @@
+package telemetry
+
+import "conga/internal/sim"
+
+// TraceKind classifies a packet-trace event.
+type TraceKind uint8
+
+const (
+	// TraceSend is a host handing a packet to its access link.
+	TraceSend TraceKind = iota
+	// TraceRecv is a host delivering a packet to its transport.
+	TraceRecv
+	// TraceDrop is a link discarding a packet (tail drop or link down).
+	TraceDrop
+)
+
+// String returns the event name used in flushed trace files.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceRecv:
+		return "recv"
+	case TraceDrop:
+		return "drop"
+	}
+	return "?"
+}
+
+// Filter restricts the packet trace by flow 5-tuple. Negative fields match
+// anything; the zero value is normalized to match-all (flow IDs and host
+// indices of 0 are never used as filter targets via a zero value — set
+// SampleEvery or a field explicitly to opt in).
+type Filter struct {
+	// FlowID matches Packet.FlowID when >= 0.
+	FlowID int64
+	// SrcHost, DstHost, SrcPort, DstPort match the corresponding packet
+	// fields when >= 0.
+	SrcHost, DstHost, SrcPort, DstPort int
+	// SampleEvery keeps 1 of every N matching events (0 and 1 both mean
+	// every event).
+	SampleEvery int
+}
+
+// MatchAll returns the filter that keeps every event.
+func MatchAll() Filter {
+	return Filter{FlowID: -1, SrcHost: -1, DstHost: -1, SrcPort: -1, DstPort: -1, SampleEvery: 1}
+}
+
+func (f Filter) normalized() Filter {
+	if f == (Filter{}) {
+		return MatchAll()
+	}
+	if f.SampleEvery < 1 {
+		f.SampleEvery = 1
+	}
+	return f
+}
+
+// TraceEvent is one recorded packet event.
+type TraceEvent struct {
+	T       sim.Time
+	Kind    TraceKind
+	Where   string // host or link name
+	FlowID  uint64
+	Src     int
+	Dst     int
+	SrcPort int
+	DstPort int
+	Seq     int64
+	Payload int
+}
+
+// PacketTrace is a bounded buffer of packet events matched by a Filter.
+// Once full it stops recording and counts suppressed events, so a trace can
+// be left on for a whole run without unbounded growth.
+type PacketTrace struct {
+	filter Filter
+	events []TraceEvent
+	// Suppressed counts matching events dropped after the buffer filled.
+	Suppressed uint64
+	seen       int // matching events observed, for SampleEvery
+}
+
+func newPacketTrace(capacity int, f Filter) *PacketTrace {
+	return &PacketTrace{filter: f, events: make([]TraceEvent, 0, capacity)}
+}
+
+// Record appends an event if it matches the filter and the buffer has room.
+// Scalar parameters (rather than a packet struct) keep telemetry free of a
+// fabric dependency. Safe on a nil receiver.
+func (tr *PacketTrace) Record(t sim.Time, kind TraceKind, where string, flowID uint64, src, dst, sport, dport int, seq int64, payload int) {
+	if tr == nil {
+		return
+	}
+	f := &tr.filter
+	if f.FlowID >= 0 && uint64(f.FlowID) != flowID {
+		return
+	}
+	if f.SrcHost >= 0 && f.SrcHost != src {
+		return
+	}
+	if f.DstHost >= 0 && f.DstHost != dst {
+		return
+	}
+	if f.SrcPort >= 0 && f.SrcPort != sport {
+		return
+	}
+	if f.DstPort >= 0 && f.DstPort != dport {
+		return
+	}
+	tr.seen++
+	if f.SampleEvery > 1 && (tr.seen-1)%f.SampleEvery != 0 {
+		return
+	}
+	if len(tr.events) == cap(tr.events) {
+		tr.Suppressed++
+		return
+	}
+	tr.events = append(tr.events, TraceEvent{
+		T: t, Kind: kind, Where: where, FlowID: flowID,
+		Src: src, Dst: dst, SrcPort: sport, DstPort: dport,
+		Seq: seq, Payload: payload,
+	})
+}
+
+// Events returns the recorded events in time order. The slice aliases the
+// buffer; callers must not modify it.
+func (tr *PacketTrace) Events() []TraceEvent {
+	if tr == nil {
+		return nil
+	}
+	return tr.events
+}
+
+// Len returns the number of recorded events.
+func (tr *PacketTrace) Len() int {
+	if tr == nil {
+		return 0
+	}
+	return len(tr.events)
+}

@@ -1,0 +1,104 @@
+// Command benchguard is the CI benchmark regression gate: it parses `go
+// test -bench` output, looks the named benchmark's baseline up in a
+// BENCH_*.json record, and exits nonzero if the measured ns/op regressed by
+// more than the allowed fraction.
+//
+// Usage:
+//
+//	go test -bench BenchmarkEngineRaw -benchtime 200000x -run '^$' . | tee out.txt
+//	go run ./tools/benchguard -baseline BENCH_PR2.json -max-regress 0.15 out.txt
+//
+// The baseline file's schema is the one BENCH_PR2.json uses:
+// {"benchmarks": {"<name>": {"after": {"ns_op": <number>}}}}. Only ns/op is
+// gated — events/op and allocs/op invariance is asserted by tests, and
+// wall-clock is the one axis that can drift without failing anything else.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g. "BenchmarkEngineRaw-8   200000   1423 ns/op   64.0 events/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+type baselineFile struct {
+	Benchmarks map[string]struct {
+		After struct {
+			NsOp float64 `json:"ns_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_PR2.json", "baseline JSON file")
+		bench        = flag.String("bench", "BenchmarkEngineRaw", "benchmark to gate")
+		maxRegress   = flag.Float64("max-regress", 0.15, "allowed fractional ns/op regression over baseline")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parse %s: %v", *baselinePath, err)
+	}
+	entry, ok := base.Benchmarks[*bench]
+	if !ok || entry.After.NsOp <= 0 {
+		fatal("%s has no after.ns_op baseline for %s", *baselinePath, *bench)
+	}
+	want := entry.After.NsOp
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal("open bench output: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	got, found := 0.0, false
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil || m[1] != *bench {
+			continue
+		}
+		got, err = strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			fatal("bad ns/op %q: %v", m[2], err)
+		}
+		found = true
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read bench output: %v", err)
+	}
+	if !found {
+		fatal("no %s result in bench output (did the benchmark run?)", *bench)
+	}
+
+	limit := want * (1 + *maxRegress)
+	delta := (got - want) / want * 100
+	if got > limit {
+		fatal("%s regressed: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
+			*bench, got, want, delta, *maxRegress*100)
+	}
+	fmt.Printf("benchguard: %s %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%) — ok\n",
+		*bench, got, want, delta, *maxRegress*100)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}
