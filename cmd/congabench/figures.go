@@ -193,7 +193,7 @@ func runFCTFigure(quick bool, w conga.Workload) {
 		if i%len(loads) == len(loads)-1 {
 			printSeriesRow(name, loads, results[name], func(r *conga.FCTResult) float64 { return r.NormFCT })
 		}
-	})
+	}, &sweepProg)
 	check(err)
 	fmt.Println("(b) small flows (<100KB) avg FCT, normalized to ECMP:")
 	printSeriesVsECMP(loads, results, func(r *conga.FCTResult) float64 { return float64(r.SmallAvgFCT) })
@@ -275,7 +275,7 @@ func runFig11(quick bool) {
 				cfgs = append(cfgs, cfg)
 			}
 		}
-		rs, err := conga.RunFCTs(cfgs)
+		rs, err := runFCTs(cfgs)
 		check(err)
 		results := map[string]map[float64]*conga.FCTResult{}
 		for i, r := range rs {
@@ -297,7 +297,7 @@ func runFig11(quick bool) {
 		cfg.CollectQueues = true
 		qcfgs = append(qcfgs, cfg)
 	}
-	qrs, err := conga.RunFCTs(qcfgs)
+	qrs, err := runFCTs(qcfgs)
 	check(err)
 	for i, s := range schemes {
 		r := qrs[i]
@@ -335,7 +335,7 @@ func runFig12(quick bool) {
 			cfg.MaxFlows *= 2
 			cfgs = append(cfgs, cfg)
 		}
-		rs, err := conga.RunFCTs(cfgs)
+		rs, err := runFCTs(cfgs)
 		check(err)
 		for i, s := range fctSchemes() {
 			r := rs[i]
@@ -437,7 +437,7 @@ func runFig13(quick bool) {
 			}
 		}
 		fmt.Println()
-	})
+	}, &sweepProg)
 	check(err)
 	fmt.Println("Paper shape: MPTCP collapses at high fan-in (worst with jumbo frames); CONGA+TCP stays high.")
 }
@@ -500,7 +500,7 @@ func runFig14(quick bool) {
 				fmt.Printf(" %6.2f", sec)
 			}
 			fmt.Printf("   | mean %.2f worst %.2f\n", sum/float64(trials), worst)
-		})
+		}, &sweepProg)
 		check(err)
 	}
 	fmt.Println("Paper shape: failure ≈ doubles ECMP job times; CONGA nearly unaffected; MPTCP volatile.")
@@ -546,7 +546,7 @@ func runFig15(quick bool) {
 				cfgs = append(cfgs, cfg)
 			}
 		}
-		rs, err := conga.RunFCTs(cfgs)
+		rs, err := runFCTs(cfgs)
 		check(err)
 		fmt.Printf("  %-8s", "conga")
 		for i := range loads {
@@ -588,7 +588,7 @@ func runFig16(quick bool) {
 		cfg.CollectQueues = true
 		cfgs = append(cfgs, cfg)
 	}
-	rs, err := conga.RunFCTs(cfgs)
+	rs, err := runFCTs(cfgs)
 	check(err)
 	for i, s := range schemes {
 		r := rs[i]
@@ -751,7 +751,7 @@ func runAblation(quick bool) {
 		cfgs = append(cfgs, cfg)
 		names = append(names, "per-packet CONGA + reorder-resilient TCP")
 	}
-	rs, err := conga.RunFCTs(cfgs)
+	rs, err := runFCTs(cfgs)
 	check(err)
 	for i, r := range rs {
 		fmt.Printf("  %-36s %10.2f %10d %10d\n", names[i], r.NormFCT, r.Drops, r.Timeouts)

@@ -57,19 +57,41 @@ var experiments = []experiment{
 var (
 	telemetryDir string
 	telemetrySeq int
+
+	// hub is non-nil when -serve is set; every run's tap attaches to it so
+	// the live endpoint can watch a whole figure sweep converge. sweepProg
+	// counts experiment completions across all Run*Stream calls.
+	hub       *conga.TelemetryHub
+	sweepProg conga.SweepProgress
 )
 
+// runFCTs is conga.RunFCTs routed through the sweep progress counter, so
+// the -serve sweep view counts non-streaming sections too.
+func runFCTs(cfgs []conga.FCTConfig) ([]*conga.FCTResult, error) {
+	return conga.RunFCTsStream(cfgs, nil, &sweepProg)
+}
+
 // telemetryFor returns per-run telemetry options flushing into a tagged
-// subdirectory, or nil when -telemetry is unset. Packet traces stay off for
-// sweeps — hundreds of runs × 64K events is noise, not observability; use
-// congasim -telemetry for a traced single run.
+// subdirectory, or nil when neither -telemetry nor -serve is set. Packet
+// traces stay off for sweeps — hundreds of runs × 64K events is noise, not
+// observability; use congasim -telemetry for a traced single run.
 func telemetryFor(tag string) *conga.TelemetryOptions {
-	if telemetryDir == "" {
+	if telemetryDir == "" && hub == nil {
 		return nil
 	}
 	telemetrySeq++
-	opts := conga.TelemetryAll(filepath.Join(telemetryDir, fmt.Sprintf("%03d_%s", telemetrySeq, tag)))
+	name := fmt.Sprintf("%03d_%s", telemetrySeq, tag)
+	dir := ""
+	if telemetryDir != "" {
+		dir = filepath.Join(telemetryDir, name)
+	}
+	opts := conga.TelemetryAll(dir)
 	opts.Trace = false
+	if hub != nil {
+		opts.Tap = true
+		opts.Hub = hub
+		opts.RunName = name
+	}
 	return opts
 }
 
@@ -78,7 +100,20 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale for a fast pass")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.StringVar(&telemetryDir, "telemetry", "", "emit telemetry counters and series for every run into tagged subdirectories of this directory")
+	serveAddr := flag.String("serve", "", "serve the live telemetry endpoint on this address (e.g. :8080) while sweeps run")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		hub = conga.NewTelemetryHub()
+		hub.SetSweepProgress(func() (done, total int) {
+			_, finished, expected := sweepProg.Counts()
+			return int(finished), int(expected)
+		})
+		srv, err := conga.ServeTelemetry(*serveAddr, hub)
+		check(err)
+		defer srv.Close()
+		fmt.Printf("live telemetry on http://%s (endpoints: /, /counters, /series, /stream; ?run=<name>)\n", srv.Addr)
+	}
 
 	if *list {
 		for _, e := range experiments {

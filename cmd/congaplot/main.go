@@ -1,0 +1,316 @@
+// Command congaplot renders the paper-style figures (queue depth over
+// time, DRE register trajectories, congestion-table maxima — the shapes of
+// Figures 4 and 12) as standalone SVG files, from either a flushed
+// telemetry directory or a live -serve endpoint.
+//
+// Usage:
+//
+//	congasim -telemetry out/tel -queues
+//	congaplot -dir out/tel -series 'queue\.' -out queue.svg
+//	congaplot -url http://localhost:8080 -run fct -series 'dre\.' -out dre.svg
+//	congaplot -dir out/tel -list
+//
+// The chart is a single-axis line chart: all selected series must share a
+// unit (mixing units would need a second y-axis, which congaplot refuses
+// by design — run it twice and get two figures instead).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// series is one named line on the chart.
+type series struct {
+	Name   string
+	Unit   string
+	Points [][2]float64 // (time_ns, value)
+}
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "telemetry directory flushed by a -telemetry run (reads series_*.ndjson, falling back to series_*.csv)")
+		liveURL = flag.String("url", "", "base URL of a live -serve endpoint (e.g. http://localhost:8080) instead of -dir")
+		run     = flag.String("run", "", "run name on the live endpoint (default: first attached run)")
+		sel     = flag.String("series", ".", "regexp selecting which series to plot, matched against probe names")
+		out     = flag.String("out", "congaplot.svg", "output SVG path")
+		title   = flag.String("title", "", "chart title (default: derived from the selected series)")
+		width   = flag.Int("width", 860, "SVG width in px")
+		height  = flag.Int("height", 440, "SVG height in px")
+		list    = flag.Bool("list", false, "list available series names and exit")
+		tMin    = flag.Duration("tmin", 0, "clip points before this sim time")
+		tMax    = flag.Duration("tmax", 0, "clip points after this sim time (0 = no clip)")
+	)
+	flag.Parse()
+
+	if (*dir == "") == (*liveURL == "") {
+		die(fmt.Errorf("exactly one of -dir or -url is required"))
+	}
+	re, err := regexp.Compile(*sel)
+	die(err)
+
+	var all []series
+	if *dir != "" {
+		all, err = loadDir(*dir)
+	} else {
+		all, err = loadURL(*liveURL, *run)
+	}
+	die(err)
+	if len(all) == 0 {
+		die(fmt.Errorf("no series found (is this a telemetry directory with series enabled?)"))
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+
+	if *list {
+		for _, s := range all {
+			fmt.Printf("%-40s %8d points  unit=%s\n", s.Name, len(s.Points), s.Unit)
+		}
+		return
+	}
+
+	var picked []series
+	for _, s := range all {
+		s.Points = clipWindow(s.Points, float64(tMin.Nanoseconds()), float64(tMax.Nanoseconds()))
+		if re.MatchString(s.Name) && len(s.Points) > 0 {
+			picked = append(picked, s)
+		}
+	}
+	if len(picked) == 0 {
+		die(fmt.Errorf("no series match %q (use -list to see names)", *sel))
+	}
+
+	// One axis: refuse mixed units rather than inventing a second y-scale.
+	units := map[string]bool{}
+	for _, s := range picked {
+		units[s.Unit] = true
+	}
+	if len(units) > 1 {
+		names := make([]string, 0, len(units))
+		for u := range units {
+			names = append(names, u)
+		}
+		sort.Strings(names)
+		die(fmt.Errorf("selected series mix units (%s); narrow -series and render one figure per unit",
+			strings.Join(names, ", ")))
+	}
+
+	// The palette has 8 fixed slots; beyond that the chart would be
+	// unreadable anyway. Keep the first 8 in name order and say so on the
+	// figure — never drop series silently.
+	dropped := 0
+	if len(picked) > maxSeries {
+		dropped = len(picked) - maxSeries
+		picked = picked[:maxSeries]
+	}
+
+	t := *title
+	if t == "" {
+		t = defaultTitle(picked)
+	}
+	svg := render(picked, chartSpec{
+		Title: t, Width: *width, Height: *height, Dropped: dropped,
+	})
+	die(os.WriteFile(*out, []byte(svg), 0o644))
+	fmt.Printf("congaplot: wrote %s (%d series", *out, len(picked))
+	if dropped > 0 {
+		fmt.Printf(", %d dropped — narrow -series", dropped)
+	}
+	fmt.Println(")")
+}
+
+// clipWindow keeps points with tMin <= t <= tMax (tMax 0 = unbounded).
+func clipWindow(pts [][2]float64, tMin, tMax float64) [][2]float64 {
+	if tMin <= 0 && tMax <= 0 {
+		return pts
+	}
+	out := pts[:0]
+	for _, p := range pts {
+		if p[0] >= tMin && (tMax <= 0 || p[0] <= tMax) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// defaultTitle derives a figure title from the common prefix of the
+// selected probe names ("queue.l0->s0.0, ..." → "queue").
+func defaultTitle(picked []series) string {
+	prefix := picked[0].Name
+	for _, s := range picked[1:] {
+		for !strings.HasPrefix(s.Name, prefix) && prefix != "" {
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	prefix = strings.Trim(prefix, ".-> ")
+	if prefix == "" {
+		return "telemetry series"
+	}
+	return prefix
+}
+
+// loadDir reads series from a flushed telemetry directory, preferring the
+// NDJSON files (they carry probe name and unit inline) and falling back to
+// CSV (probe name reconstructed from the filename, unit unknown).
+func loadDir(dir string) ([]series, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "series_*.ndjson"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) > 0 {
+		var out []series
+		for _, p := range paths {
+			s, err := loadNDJSON(p)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p, err)
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	paths, err = filepath.Glob(filepath.Join(dir, "series_*.csv"))
+	if err != nil {
+		return nil, err
+	}
+	var out []series
+	for _, p := range paths {
+		s, err := loadCSV(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func loadNDJSON(path string) (series, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return series{}, err
+	}
+	s := series{Name: seriesNameFromFile(path, ".ndjson")}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var row struct {
+			Probe  string  `json:"probe"`
+			Unit   string  `json:"unit"`
+			TimeNs int64   `json:"time_ns"`
+			Value  float64 `json:"value"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			return series{}, err
+		}
+		if row.Probe != "" {
+			s.Name = row.Probe
+		}
+		if row.Unit != "" {
+			s.Unit = row.Unit
+		}
+		s.Points = append(s.Points, [2]float64{float64(row.TimeNs), row.Value})
+	}
+	return s, nil
+}
+
+func loadCSV(path string) (series, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return series{}, err
+	}
+	s := series{Name: seriesNameFromFile(path, ".csv")}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || (i == 0 && strings.HasPrefix(line, "time_ns")) {
+			continue
+		}
+		tStr, vStr, ok := strings.Cut(line, ",")
+		if !ok {
+			continue
+		}
+		t, err1 := strconv.ParseFloat(tStr, 64)
+		v, err2 := strconv.ParseFloat(vStr, 64)
+		if err1 != nil || err2 != nil {
+			return series{}, fmt.Errorf("bad row %q", line)
+		}
+		s.Points = append(s.Points, [2]float64{t, v})
+	}
+	return s, nil
+}
+
+func seriesNameFromFile(path, ext string) string {
+	base := strings.TrimSuffix(filepath.Base(path), ext)
+	return strings.TrimPrefix(base, "series_")
+}
+
+// loadURL reads series from a live -serve endpoint: /series for the name
+// index, then /series/<name> for each.
+func loadURL(base, run string) ([]series, error) {
+	base = strings.TrimRight(base, "/")
+	q := ""
+	if run != "" {
+		q = "?run=" + url.QueryEscape(run)
+	}
+	var index struct {
+		Series []string `json:"series"`
+	}
+	if err := getJSON(base+"/series"+q, &index); err != nil {
+		return nil, err
+	}
+	var out []series
+	for _, name := range index.Series {
+		var sj struct {
+			Probe  string   `json:"probe"`
+			Unit   string   `json:"unit"`
+			Points [][2]any `json:"points"`
+		}
+		if err := getJSON(base+"/series/"+url.PathEscape(name)+q, &sj); err != nil {
+			return nil, err
+		}
+		s := series{Name: sj.Probe, Unit: sj.Unit}
+		for _, p := range sj.Points {
+			t, okT := asFloat(p[0])
+			v, okV := asFloat(p[1])
+			if okT && okV {
+				s.Points = append(s.Points, [2]float64{t, v})
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func asFloat(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}
+
+func getJSON(u string, v any) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "congaplot:", err)
+		os.Exit(1)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	conga "conga"
+	"conga/internal/telemetry"
 )
 
 func main() {
@@ -51,6 +52,11 @@ func main() {
 
 		telemetryDir  = flag.String("telemetry", "", "enable telemetry and write one CSV + NDJSON file per probe into this directory")
 		telemetryFlow = flag.Int64("telemetry-flow", -1, "restrict the packet trace to this flow ID (-1 = all flows)")
+		traceMode     = flag.String("trace-mode", "head", "packet-trace capture mode when full: head, tail (flight recorder), reservoir")
+		traceTrigger  = flag.String("trace-trigger", "none", "freeze the trace on a condition: none, first-drop, first-rto (|-combinable)")
+		traceStop     = flag.Int("trace-stop-after", 0, "record this many further events after the trigger before freezing")
+		serveAddr     = flag.String("serve", "", "serve the live telemetry endpoint on this address (e.g. :8080) while the run executes")
+		linger        = flag.Duration("linger", 0, "keep the -serve endpoint up this long after the run finishes")
 	)
 	flag.Parse()
 
@@ -73,13 +79,32 @@ func main() {
 	}
 
 	var tel *conga.TelemetryOptions
-	if *telemetryDir != "" {
+	if *telemetryDir != "" || *serveAddr != "" {
 		tel = conga.TelemetryAll(*telemetryDir)
 		if *telemetryFlow >= 0 {
 			tel.TraceFilter.FlowID = *telemetryFlow
 			tel.TraceFilter.SrcHost, tel.TraceFilter.DstHost = -1, -1
 			tel.TraceFilter.SrcPort, tel.TraceFilter.DstPort = -1, -1
 		}
+		tel.TraceMode, err = telemetry.ParseCaptureMode(*traceMode)
+		die(err)
+		tel.TraceTrigger, err = telemetry.ParseTrigger(*traceTrigger)
+		die(err)
+		tel.TraceStopAfter = *traceStop
+	}
+
+	// -serve exposes the run live: the engine publishes tap snapshots at
+	// its collector safe points and the HTTP readers only ever load them,
+	// so watching a run never changes it.
+	var srv *conga.TelemetryServer
+	if *serveAddr != "" {
+		hub := conga.NewTelemetryHub()
+		tel.Tap = true
+		tel.Hub = hub
+		tel.RunName = *mode
+		srv, err = conga.ServeTelemetry(*serveAddr, hub)
+		die(err)
+		fmt.Printf("live telemetry on http://%s (endpoints: /, /counters, /series, /series/<name>, /stream)\n", srv.Addr)
 	}
 
 	switch *mode {
@@ -130,6 +155,14 @@ func main() {
 	default:
 		die(fmt.Errorf("unknown mode %q", *mode))
 	}
+
+	if srv != nil {
+		if *linger > 0 {
+			fmt.Printf("run finished; serving final snapshot for %v on http://%s\n", *linger, srv.Addr)
+			time.Sleep(*linger)
+		}
+		srv.Close()
+	}
 }
 
 func printFCT(r *conga.FCTResult) {
@@ -159,7 +192,21 @@ func printTelemetry(reg *conga.TelemetryRegistry, dir string) {
 	creates, expires, evicts := reg.FlowletTotals()
 	fmt.Printf("telemetry: links enq %d deq %d drops %d ce-marks %d; tcp retx %d rto %d dupacks %d; flowlets created %d expired %d evicted %d\n",
 		enq, deq, drops, ce, tcp.Retransmits, tcp.Timeouts, tcp.DupAcks, creates, expires, evicts)
-	fmt.Printf("telemetry: %d series, %d trace events -> %s\n", len(reg.AllSeries()), reg.Trace().Len(), dir)
+	dest := dir
+	if dest == "" {
+		dest = "(in memory)"
+	}
+	fmt.Printf("telemetry: %d series, %d trace events -> %s\n", len(reg.AllSeries()), reg.Trace().Len(), dest)
+	if tr := reg.Trace(); tr != nil {
+		info := tr.Info()
+		if info.Triggered {
+			fmt.Printf("telemetry: trace capture=%s suppressed=%d trigger=%s fired at %v (%s)\n",
+				info.Mode, info.Suppressed, info.Trigger, time.Duration(info.TriggeredAt), info.TriggerReason)
+		} else if info.Mode != telemetry.CaptureHead || info.Trigger != 0 {
+			fmt.Printf("telemetry: trace capture=%s suppressed=%d trigger=%s (not fired)\n",
+				info.Mode, info.Suppressed, info.Trigger)
+		}
+	}
 }
 
 func parseScheme(s string) (conga.Scheme, error) {

@@ -4,9 +4,15 @@
 // different inactivity gaps, plus the concurrent-flowlet census that sizes
 // the ASIC's flowlet table.
 //
+// A second mode reads back a packet trace flushed by the telemetry
+// subsystem (trace.csv or trace.ndjson from a -telemetry run) and prints
+// its capture policy — mode, trigger, how many events were suppressed by
+// the flight-recorder ring or reservoir — plus a per-event-kind summary.
+//
 // Usage:
 //
 //	congatrace [-flows 5000] [-workload enterprise] [-rate 10] [-burst 65536]
+//	congatrace -read out/telemetry/trace.csv
 package main
 
 import (
@@ -29,8 +35,17 @@ func main() {
 		burst    = flag.Int64("burst", 64<<10, "NIC offload burst size in bytes")
 		window   = flag.Duration("window", 50*time.Millisecond, "flow arrival window")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		read     = flag.String("read", "", "read back a flushed packet trace (trace.csv or trace.ndjson) instead of generating one")
 	)
 	flag.Parse()
+
+	if *read != "" {
+		if err := readTrace(*read); err != nil {
+			fmt.Fprintln(os.Stderr, "congatrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var d workload.SizeDist
 	switch *dist {

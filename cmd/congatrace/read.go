@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// readTrace prints the capture policy and an event summary for a packet
+// trace flushed by internal/telemetry: trace.csv (header comment line
+// "# capture=... cap=... suppressed=...") or trace.ndjson (leading
+// {"capture":{...}} meta object). Older files without the header still
+// summarize; the capture section just reports "unknown (no capture header)".
+func readTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if strings.HasSuffix(path, ".ndjson") || strings.HasSuffix(path, ".json") {
+		return readNDJSON(path, f)
+	}
+	return readCSV(path, f)
+}
+
+// capture is the policy block both formats carry. Fields mirror
+// telemetry.CaptureInfo but are parsed from the file so the reader works
+// on traces produced by other builds.
+type capture struct {
+	present    bool
+	Mode       string `json:"mode"`
+	Cap        int64  `json:"cap"`
+	Recorded   int64  `json:"recorded"`
+	Seen       int64  `json:"seen"`
+	Suppressed int64  `json:"suppressed"`
+	Trigger    string `json:"trigger"`
+	Triggered  bool   `json:"triggered"`
+	AtNs       int64  `json:"triggered_at_ns"`
+	Reason     string `json:"reason"`
+}
+
+// eventSummary accumulates per-kind counts and the time span while
+// scanning event rows.
+type eventSummary struct {
+	total   int64
+	kinds   map[string]int64
+	flows   map[int64]struct{}
+	tMin    int64
+	tMax    int64
+	haveAny bool
+}
+
+func newEventSummary() *eventSummary {
+	return &eventSummary{kinds: map[string]int64{}, flows: map[int64]struct{}{}}
+}
+
+func (s *eventSummary) add(tNs int64, kind string, flow int64) {
+	s.total++
+	s.kinds[kind]++
+	s.flows[flow] = struct{}{}
+	if !s.haveAny || tNs < s.tMin {
+		s.tMin = tNs
+	}
+	if !s.haveAny || tNs > s.tMax {
+		s.tMax = tNs
+	}
+	s.haveAny = true
+}
+
+func readCSV(path string, f *os.File) error {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cap capture
+	sum := newEventSummary()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "time_ns,"):
+			continue
+		case strings.HasPrefix(line, "#"):
+			parseCaptureComment(line, &cap)
+			continue
+		}
+		// time_ns,event,where,flow,... — time and event are never quoted;
+		// flow is field 3 when "where" is unquoted (link and host names
+		// contain no commas; a quoted where just loses the flow count for
+		// that row, nothing else).
+		fields := strings.Split(line, ",")
+		if len(fields) < 4 {
+			continue
+		}
+		tNs, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			continue
+		}
+		flow := int64(-1)
+		if v, err := strconv.ParseInt(fields[3], 10, 64); err == nil {
+			flow = v
+		}
+		sum.add(tNs, fields[1], flow)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	printTraceReport(path, cap, sum)
+	return nil
+}
+
+// parseCaptureComment parses the "# capture=head cap=65536 recorded=..."
+// line CSVSink writes as the first line of trace.csv.
+func parseCaptureComment(line string, c *capture) {
+	for _, tok := range strings.Fields(strings.TrimPrefix(line, "#")) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "capture":
+			c.Mode, c.present = v, true
+		case "cap":
+			c.Cap, _ = strconv.ParseInt(v, 10, 64)
+		case "recorded":
+			c.Recorded, _ = strconv.ParseInt(v, 10, 64)
+		case "seen":
+			c.Seen, _ = strconv.ParseInt(v, 10, 64)
+		case "suppressed":
+			c.Suppressed, _ = strconv.ParseInt(v, 10, 64)
+		case "trigger":
+			c.Trigger = v
+		case "triggered":
+			c.Triggered = v == "true"
+		case "triggered_at_ns":
+			c.AtNs, _ = strconv.ParseInt(v, 10, 64)
+		case "reason":
+			c.Reason = v
+		}
+	}
+}
+
+func readNDJSON(path string, f *os.File) error {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cap capture
+	sum := newEventSummary()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, `{"capture":`) {
+			var meta struct {
+				Capture capture `json:"capture"`
+			}
+			if err := json.Unmarshal([]byte(line), &meta); err == nil {
+				cap = meta.Capture
+				cap.present = true
+			}
+			continue
+		}
+		var ev struct {
+			TimeNs int64  `json:"time_ns"`
+			Event  string `json:"event"`
+			Flow   int64  `json:"flow"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue
+		}
+		sum.add(ev.TimeNs, ev.Event, ev.Flow)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	printTraceReport(path, cap, sum)
+	return nil
+}
+
+func printTraceReport(path string, c capture, sum *eventSummary) {
+	fmt.Printf("trace: %s\n", path)
+	if !c.present {
+		fmt.Println("capture: unknown (no capture header; pre-policy trace, assumed keep-head)")
+	} else {
+		fmt.Printf("capture: %s, capacity %d events\n", c.Mode, c.Cap)
+		fmt.Printf("  recorded %d of %d matching events seen; %d suppressed by the %s policy\n",
+			c.Recorded, c.Seen, c.Suppressed, c.Mode)
+		switch {
+		case c.Trigger == "" || c.Trigger == "none":
+			fmt.Println("  trigger: none")
+		case c.Triggered:
+			fmt.Printf("  trigger: %s — FIRED at %v (%s); trace frozen\n",
+				c.Trigger, time.Duration(c.AtNs), c.Reason)
+		default:
+			fmt.Printf("  trigger: %s — armed, never fired\n", c.Trigger)
+		}
+	}
+	if !sum.haveAny {
+		fmt.Println("events: none recorded")
+		return
+	}
+	span := time.Duration(sum.tMax - sum.tMin)
+	fmt.Printf("events: %d recorded over %v (%v .. %v), %d distinct flows\n",
+		sum.total, span, time.Duration(sum.tMin), time.Duration(sum.tMax), len(sum.flows))
+	kinds := make([]string, 0, len(sum.kinds))
+	for k := range sum.kinds {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return sum.kinds[kinds[i]] > sum.kinds[kinds[j]] })
+	for _, k := range kinds {
+		n := sum.kinds[k]
+		fmt.Printf("  %-12s %10d  (%5.1f%%)\n", k, n, float64(n)/float64(sum.total)*100)
+	}
+}

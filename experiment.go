@@ -88,6 +88,14 @@ type FCTConfig struct {
 	// Enabling it never changes simulation outcomes.
 	Telemetry *TelemetryOptions
 
+	// SampleCap, when > 0, bounds every statistics buffer (FCT samples,
+	// imbalance and queue samplers) to at most SampleCap retained
+	// observations via reservoir sampling, so million-flow sweeps run at
+	// fixed memory. Means, counts and extrema stay exact; quantiles and
+	// CDFs become reservoir estimates. The reservoirs use their own
+	// seeded PRNGs, so simulation outcomes are unaffected.
+	SampleCap int
+
 	WCMPWeights []float64
 }
 
@@ -229,7 +237,13 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		dist = cfg.Workload.Dist()
 	}
 
-	rec := stats.NewFCTRecorder(cfg.MaxFlows)
+	var rec *stats.FCTRecorder
+	if cfg.SampleCap > 0 {
+		rec = stats.NewFCTRecorder(0)
+		rec.Bound(cfg.SampleCap, cfg.Seed)
+	} else {
+		rec = stats.NewFCTRecorder(cfg.MaxFlows)
+	}
 	var retx, timeouts uint64
 	tcpCfg := cfg.Transport.tcpConfig()
 	mpCfg := mptcp.Config{Subflows: cfg.Transport.Subflows, TCP: tcpCfg, ChunkSegments: 4}
@@ -275,24 +289,48 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	}
 
 	// The samplers tick at fixed periods over a known horizon, so their
-	// buffers can be sized exactly instead of growing during the run.
+	// buffers can be sized exactly instead of growing during the run —
+	// or bounded by SampleCap reservoirs when the caller asked for fixed
+	// memory.
 	horizon := sim.Duration(cfg.Duration) + sim.Duration(cfg.DrainTimeout)
 	var imb *stats.ImbalanceSampler
 	if cfg.CollectImbalance {
 		imb = stats.NewImbalanceSampler(net.Leaves[0].Uplinks(), 10*sim.Millisecond)
-		imb.Values.Reserve(int(horizon / (10 * sim.Millisecond)))
+		if cfg.SampleCap > 0 {
+			imb.Values.Reservoir(cfg.SampleCap, cfg.Seed+101)
+		} else {
+			imb.Values.Reserve(int(horizon / (10 * sim.Millisecond)))
+		}
 		imb.Start(eng)
 	}
 	var qs *stats.QueueSampler
 	if cfg.CollectQueues {
 		qs = stats.NewQueueSampler(net.FabricLinks(), 100*sim.Microsecond)
-		samples := int(horizon / (100 * sim.Microsecond))
-		qs.All.Reserve(samples * len(net.FabricLinks()))
-		for i := range qs.PerLink {
-			qs.PerLink[i].Reserve(samples)
+		if cfg.SampleCap > 0 {
+			qs.All.Reservoir(cfg.SampleCap, cfg.Seed+201)
+			for i := range qs.PerLink {
+				qs.PerLink[i].Reservoir(cfg.SampleCap, cfg.Seed+202+uint64(i))
+			}
+		} else {
+			samples := int(horizon / (100 * sim.Microsecond))
+			qs.All.Reserve(samples * len(net.FabricLinks()))
+			for i := range qs.PerLink {
+				qs.PerLink[i].Reserve(samples)
+			}
 		}
 		qs.Start(eng)
 	}
+
+	// The streaming tap surfaces run progress in its snapshots; the
+	// closure runs on the engine goroutine at publish safe points, so the
+	// plain reads need no synchronization.
+	reg.SetProgress(func() telemetry.Progress {
+		return telemetry.Progress{
+			FlowsGenerated: gen.Generated,
+			FlowsCompleted: rec.Flows,
+			Events:         eng.Executed(),
+		}
+	})
 
 	gen.Start()
 	eng.Run(sim.Duration(cfg.Duration) + sim.Duration(cfg.DrainTimeout))
@@ -319,6 +357,7 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	}
 	if reg != nil {
 		reg.Collect()
+		reg.FinishTap(eng.Now())
 		if err := reg.Flush(); err != nil {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}

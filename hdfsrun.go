@@ -8,6 +8,7 @@ import (
 	"conga/internal/hdfs"
 	"conga/internal/mptcp"
 	"conga/internal/sim"
+	"conga/internal/stats"
 	"conga/internal/tcp"
 	"conga/internal/telemetry"
 	"conga/internal/workload"
@@ -38,6 +39,12 @@ type HDFSConfig struct {
 	// Telemetry, when non-nil, enables the observability subsystem (see
 	// FCTConfig.Telemetry); the registry returns in HDFSResult.Telemetry.
 	Telemetry *TelemetryOptions
+
+	// SampleCap, when > 0, records background-flow completion times into a
+	// bounded reservoir (see FCTConfig.SampleCap) and reports them in
+	// HDFSResult.BackgroundFCTMean/P99. Off by default: background flows
+	// are load, not measurement.
+	SampleCap int
 
 	Seed uint64
 }
@@ -77,8 +84,15 @@ type HDFSResult struct {
 	// Blocks and ReplicaBytes describe the work done.
 	Blocks       int
 	ReplicaBytes int64
-	// BackgroundFlows counts background transfers generated.
-	BackgroundFlows int
+	// BackgroundFlows counts background transfers generated;
+	// BackgroundCompleted how many finished before the engine stopped.
+	BackgroundFlows     int
+	BackgroundCompleted int
+	// BackgroundFCTMean / BackgroundFCTP99 summarize background-flow
+	// completion times when HDFSConfig.SampleCap is set (mean exact, P99 a
+	// reservoir estimate).
+	BackgroundFCTMean time.Duration
+	BackgroundFCTP99  time.Duration
 
 	// Telemetry is the run's populated registry when requested.
 	Telemetry *TelemetryRegistry
@@ -104,14 +118,32 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 	tcpCfg := cfg.Transport.tcpConfig()
 	mpCfg := mptcp.Config{Subflows: cfg.Transport.Subflows, TCP: tcpCfg, ChunkSegments: 4}
 
-	// Background enterprise traffic for the whole trial window.
+	// Background enterprise traffic for the whole trial window. With
+	// SampleCap set, completion times go into a bounded reservoir; the
+	// recording callback runs after a flow's endpoints close and schedules
+	// nothing, so attaching it does not change the simulation.
+	var bg stats.Sample
+	bgDone := 0
+	if cfg.SampleCap > 0 {
+		bg.Reservoir(cfg.SampleCap, cfg.Seed+401)
+	}
 	var gen *workload.Generator
 	if cfg.BackgroundLoad > 0 {
+		record := func(fct sim.Time) {
+			bgDone++
+			if cfg.SampleCap > 0 {
+				bg.Add(fct.Seconds())
+			}
+		}
 		starter := func(src, dst *fabric.Host, id uint64, size int64) {
 			if transport == TransportMPTCP {
-				mptcp.StartFlow(eng, src, dst, id, size, mpCfg, nil)
+				mptcp.StartFlow(eng, src, dst, id, size, mpCfg, func(f *mptcp.Flow, now sim.Time) {
+					record(f.FCT(now))
+				})
 			} else {
-				tcp.StartFlow(eng, src, dst, id, size, tcpCfg, nil)
+				tcp.StartFlow(eng, src, dst, id, size, tcpCfg, func(f *tcp.Flow, now sim.Time) {
+					record(f.FCT(now))
+				})
 			}
 		}
 		gen, err = workload.NewGenerator(eng, net, workload.GenConfig{
@@ -147,6 +179,14 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 		return nil, err
 	}
 
+	reg.SetProgress(func() telemetry.Progress {
+		p := telemetry.Progress{FlowsCompleted: bgDone, Events: eng.Executed()}
+		if gen != nil {
+			p.FlowsGenerated = gen.Generated
+		}
+		return p
+	})
+
 	eng.Run(sim.Duration(cfg.Timeout))
 
 	res := &HDFSResult{
@@ -156,6 +196,11 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 	}
 	if gen != nil {
 		res.BackgroundFlows = gen.Generated
+		res.BackgroundCompleted = bgDone
+		if cfg.SampleCap > 0 {
+			res.BackgroundFCTMean = time.Duration(bg.Mean() * 1e9)
+			res.BackgroundFCTP99 = time.Duration(bg.Quantile(0.99) * 1e9)
+		}
 	}
 	if jobRes.CompletionTime > 0 {
 		res.Completed = true
@@ -165,6 +210,7 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 	}
 	if reg != nil {
 		reg.Collect()
+		reg.FinishTap(eng.Now())
 		if err := reg.Flush(); err != nil {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"conga/internal/mptcp"
 	"conga/internal/sim"
+	"conga/internal/stats"
 	"conga/internal/tcp"
 	"conga/internal/telemetry"
 )
@@ -30,6 +31,10 @@ type IncastConfig struct {
 	// Telemetry, when non-nil, enables the observability subsystem (see
 	// FCTConfig.Telemetry); the registry returns in IncastResult.Telemetry.
 	Telemetry *TelemetryOptions
+
+	// SampleCap, when > 0, bounds the per-round completion-time sample via
+	// reservoir sampling (see FCTConfig.SampleCap); means stay exact.
+	SampleCap int
 
 	Seed uint64
 }
@@ -69,6 +74,10 @@ type IncastResult struct {
 	Drops uint64
 	// Timeouts aggregates sender RTOs, the Incast signature.
 	Timeouts uint64
+	// RoundTimeMean / RoundTimeP99 summarize per-round completion times
+	// (the mean is exact even under IncastConfig.SampleCap).
+	RoundTimeMean time.Duration
+	RoundTimeP99  time.Duration
 
 	// Telemetry is the run's populated registry when requested.
 	Telemetry *TelemetryRegistry
@@ -121,12 +130,20 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 	var busyTime sim.Time
 	var startRound func(now sim.Time)
 
+	var roundTimes stats.Sample
+	if cfg.SampleCap > 0 {
+		roundTimes.Reservoir(cfg.SampleCap, cfg.Seed+301)
+	} else {
+		roundTimes.Reserve(cfg.Rounds)
+	}
+
 	onServerDone := func(now sim.Time) {
 		remaining--
 		if remaining > 0 {
 			return
 		}
 		busyTime += now - roundStart
+		roundTimes.Add((now - roundStart).Seconds())
 		roundsDone++
 		if roundsDone < cfg.Rounds {
 			startRound(now)
@@ -161,6 +178,14 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 			}
 		}
 	}
+	reg.SetProgress(func() telemetry.Progress {
+		return telemetry.Progress{
+			FlowsGenerated: cfg.Rounds,
+			FlowsCompleted: roundsDone,
+			Events:         eng.Executed(),
+		}
+	})
+
 	eng.At(0, func(now sim.Time) { startRound(now) })
 	eng.Run(sim.Duration(cfg.Timeout))
 
@@ -181,6 +206,8 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 		TotalTime:       time.Duration(eng.Now()),
 		Drops:           net.Leaves[0].Downlink(client.ID).Drops,
 		Timeouts:        rtos,
+		RoundTimeMean:   time.Duration(roundTimes.Mean() * 1e9),
+		RoundTimeP99:    time.Duration(roundTimes.Quantile(0.99) * 1e9),
 	}
 	if roundsDone > 0 && busyTime > 0 {
 		bytes := float64(perServer) * float64(cfg.Fanout) * float64(roundsDone)
@@ -189,6 +216,7 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 	}
 	if reg != nil {
 		reg.Collect()
+		reg.FinishTap(eng.Now())
 		if err := reg.Flush(); err != nil {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}

@@ -77,6 +77,11 @@ func (h *Host) Send(p *Packet, now sim.Time) {
 // through a nil-checked pointer.
 func (h *Host) TCPCounters() *telemetry.TCPCounters { return h.tcpTel }
 
+// PacketTrace returns the engine-wide packet trace, or nil when tracing is
+// off. Transports fetch it at construction to fire flight-recorder
+// triggers (e.g. first RTO) through its nil-safe methods.
+func (h *Host) PacketTrace() *telemetry.PacketTrace { return h.trace }
+
 // AccessLink returns the host's uplink to its leaf, for counters and fault
 // injection.
 func (h *Host) AccessLink() *Link { return h.out }

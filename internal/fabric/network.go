@@ -296,6 +296,10 @@ func NewNetwork(eng *sim.Engine, cfg Config) (*Network, error) {
 		if n.telQueue != nil {
 			n.sampleLinkSeries(now)
 		}
+		// The streaming tap publishes here too: the DRE tick is an
+		// existing safe point, so snapshot handoff adds no events and the
+		// executed-event count stays identical with a tap attached.
+		n.tel.PublishTap(now)
 	})
 	// Flowlet age sweep per leaf, every Tfl; telemetry samples table
 	// occupancy and congestion-table metrics on the same tick.

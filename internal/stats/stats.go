@@ -213,6 +213,18 @@ func NewFCTRecorder(expectedFlows int) *FCTRecorder {
 	return r
 }
 
+// Bound switches every sample into reservoir mode retaining at most limit
+// observations each (sub-seeds derived from seed), so million-flow sweeps
+// record at bounded memory. Mean/Min/Max/N stay exact; quantiles become
+// reservoir estimates. Must be called before the first Record.
+func (r *FCTRecorder) Bound(limit int, seed uint64) {
+	for i, s := range []*Sample{
+		&r.Overall, &r.OverallNorm, &r.Small, &r.SmallNorm, &r.Large, &r.LargeNorm,
+	} {
+		s.Reservoir(limit, seed+uint64(i)*0x9e3779b97f4a7c15)
+	}
+}
+
 // NormOfMeans returns mean(FCT)/mean(optimal), the headline normalization
 // of Figures 9a/10a/11.
 func (r *FCTRecorder) NormOfMeans() float64 {

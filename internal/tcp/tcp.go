@@ -162,7 +162,10 @@ type Sender struct {
 	stats Stats
 	// tel mirrors loss-recovery counters into the engine-wide telemetry
 	// registry; nil when telemetry is off (every bump is one nil check).
-	tel   *telemetry.TCPCounters
+	tel *telemetry.TCPCounters
+	// trace is the engine-wide packet trace; its nil-safe TriggerRTO fires
+	// the flight-recorder stop on the first timeout when armed.
+	trace *telemetry.PacketTrace
 	freed bool
 }
 
@@ -188,6 +191,7 @@ func NewSender(eng *sim.Engine, host *fabric.Host, flowID uint64, dstHost, dstPo
 	}
 	s.onTimeoutFn = s.onTimeout
 	s.tel = host.TCPCounters()
+	s.trace = host.PacketTrace()
 	host.Bind(s.srcPort, s)
 	return s
 }
@@ -318,6 +322,7 @@ func (s *Sender) onTimeout(now sim.Time) {
 	if s.tel != nil {
 		s.tel.Timeouts++
 	}
+	s.trace.TriggerRTO(now)
 	// RFC 5681 §3.1 / RFC 6298 §5: collapse to one segment, halve
 	// ssthresh, back the timer off, and go back to snd.una.
 	flight := float64(s.Outstanding())

@@ -1,0 +1,389 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Hub collects the streaming taps of one or more runs so a single HTTP
+// server can expose them. Registries attach themselves at New time (via
+// Options.Hub); parallel sweeps attach one tap per run from worker
+// goroutines, so the registration map is mutex-protected — but reads of the
+// taps themselves stay lock-free (Tap.Load).
+type Hub struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]*Tap
+	auto   int
+
+	sweep func() (done, total int)
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{byName: map[string]*Tap{}}
+}
+
+// Attach registers a tap under name ("" = auto "run-N") and returns the
+// name used. Re-attaching a name replaces the previous tap (congabench
+// reuses tags across sections).
+func (h *Hub) Attach(name string, tap *Tap) string {
+	if h == nil || tap == nil {
+		return name
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if name == "" {
+		h.auto++
+		name = fmt.Sprintf("run-%d", h.auto)
+	}
+	if _, ok := h.byName[name]; !ok {
+		h.order = append(h.order, name)
+	}
+	h.byName[name] = tap
+	return name
+}
+
+func (h *Hub) attach(name string, tap *Tap) { h.Attach(name, tap) }
+
+// SetSweepProgress registers a closure reporting sweep-level progress
+// (runs finished / total), shown on the index and overview stream.
+func (h *Hub) SetSweepProgress(fn func() (done, total int)) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.sweep = fn
+	h.mu.Unlock()
+}
+
+// Runs returns the attached run names in attach order.
+func (h *Hub) Runs() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.order...)
+}
+
+// Run returns the named run's tap, or — for name "" — the first attached
+// run's tap. Returns nil when absent.
+func (h *Hub) Run(name string) *Tap {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if name == "" && len(h.order) > 0 {
+		name = h.order[0]
+	}
+	return h.byName[name]
+}
+
+// runJSON is the wire form of one run's headline state.
+type runJSON struct {
+	Name         string  `json:"name"`
+	Seq          uint64  `json:"seq"`
+	SimTimeNs    int64   `json:"sim_time_ns"`
+	WallNs       int64   `json:"wall_ns"`
+	Done         bool    `json:"done"`
+	FlowsGen     int     `json:"flows_generated"`
+	FlowsDone    int     `json:"flows_completed"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+func runHeadline(name string, s, prev *Snapshot) runJSON {
+	r := runJSON{Name: name}
+	if s == nil {
+		return r
+	}
+	r.Seq = s.Seq
+	r.SimTimeNs = int64(s.SimTime)
+	r.WallNs = s.Wall
+	r.Done = s.Done
+	r.FlowsGen = s.Progress.FlowsGenerated
+	r.FlowsDone = s.Progress.FlowsCompleted
+	r.Events = s.Progress.Events
+	if prev != nil && s.Wall > prev.Wall && s.Progress.Events >= prev.Progress.Events {
+		dt := float64(s.Wall-prev.Wall) / 1e9
+		r.EventsPerSec = float64(s.Progress.Events-prev.Progress.Events) / dt
+	}
+	return r
+}
+
+// Handler returns the hub's HTTP handler:
+//
+//	GET /                  run overview + sweep progress (JSON)
+//	GET /counters?run=R    latest counter rows for run R (JSON)
+//	GET /series?run=R      series names for run R (JSON)
+//	GET /series/NAME?run=R latest retained points of one series (JSON)
+//	GET /stream?run=R      SSE stream of run R's snapshots (series deltas)
+//	GET /stream            SSE stream of the run overview
+//
+// Every response is derived from immutable snapshots obtained via Tap.Load,
+// so handlers never synchronize with — and can never perturb — the engines.
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", h.handleIndex)
+	mux.HandleFunc("/counters", h.handleCounters)
+	mux.HandleFunc("/series", h.handleSeriesIndex)
+	mux.HandleFunc("/series/", h.handleSeries)
+	mux.HandleFunc("/stream", h.handleStream)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (h *Hub) overview() map[string]any {
+	h.mu.Lock()
+	names := append([]string(nil), h.order...)
+	taps := make([]*Tap, len(names))
+	for i, n := range names {
+		taps[i] = h.byName[n]
+	}
+	sweep := h.sweep
+	h.mu.Unlock()
+
+	runs := make([]runJSON, 0, len(names))
+	for i, n := range names {
+		runs = append(runs, runHeadline(n, taps[i].Load(), nil))
+	}
+	out := map[string]any{"runs": runs}
+	if sweep != nil {
+		done, total := sweep()
+		out["sweep"] = map[string]int{"done": done, "total": total}
+	}
+	return out
+}
+
+func (h *Hub) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, h.overview())
+}
+
+// tapFor resolves the ?run= parameter; on failure it writes a 404 listing
+// the known runs and returns nil.
+func (h *Hub) tapFor(w http.ResponseWriter, r *http.Request) (string, *Tap) {
+	name := r.URL.Query().Get("run")
+	tap := h.Run(name)
+	if tap == nil {
+		http.Error(w, fmt.Sprintf("unknown run %q (runs: %s)", name, strings.Join(h.Runs(), ", ")), http.StatusNotFound)
+		return "", nil
+	}
+	if name == "" && len(h.Runs()) > 0 {
+		name = h.Runs()[0]
+	}
+	return name, tap
+}
+
+func (h *Hub) handleCounters(w http.ResponseWriter, r *http.Request) {
+	name, tap := h.tapFor(w, r)
+	if tap == nil {
+		return
+	}
+	s := tap.Load()
+	if s == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"run": name, "seq": s.Seq, "sim_time_ns": int64(s.SimTime),
+		"done": s.Done, "counters": s.Counters,
+	})
+}
+
+func (h *Hub) handleSeriesIndex(w http.ResponseWriter, r *http.Request) {
+	name, tap := h.tapFor(w, r)
+	if tap == nil {
+		return
+	}
+	s := tap.Load()
+	if s == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	names := make([]string, 0, len(s.Series))
+	for _, sr := range s.Series {
+		names = append(names, sr.Name)
+	}
+	sort.Strings(names)
+	writeJSON(w, map[string]any{"run": name, "seq": s.Seq, "series": names})
+}
+
+// seriesJSON is the wire form of one series (also consumed by congaplot).
+type seriesJSON struct {
+	Run    string   `json:"run"`
+	Probe  string   `json:"probe"`
+	Unit   string   `json:"unit"`
+	Stride int      `json:"stride"`
+	Points [][2]any `json:"points"` // [time_ns, value]
+}
+
+func (h *Hub) handleSeries(w http.ResponseWriter, r *http.Request) {
+	probe := strings.TrimPrefix(r.URL.Path, "/series/")
+	name, tap := h.tapFor(w, r)
+	if tap == nil {
+		return
+	}
+	s := tap.Load()
+	if s == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	for _, sr := range s.Series {
+		if sr.Name == probe || sanitizeName(sr.Name) == probe {
+			out := seriesJSON{Run: name, Probe: sr.Name, Unit: sr.Unit, Stride: sr.Stride}
+			out.Points = make([][2]any, 0, len(sr.Points))
+			for _, p := range sr.Points {
+				out.Points = append(out.Points, [2]any{int64(p.T), p.V})
+			}
+			writeJSON(w, out)
+			return
+		}
+	}
+	http.Error(w, fmt.Sprintf("unknown series %q", probe), http.StatusNotFound)
+}
+
+// streamPoll is how often SSE handlers re-check the tap for a new snapshot.
+var streamPoll = 200 * time.Millisecond
+
+func sseSetup(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	return fl, true
+}
+
+func sseEvent(w http.ResponseWriter, fl http.Flusher, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	fl.Flush()
+}
+
+func (h *Hub) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("run") == "" && len(h.Runs()) != 1 {
+		h.streamOverview(w, r)
+		return
+	}
+	name, tap := h.tapFor(w, r)
+	if tap == nil {
+		return
+	}
+	fl, ok := sseSetup(w)
+	if !ok {
+		return
+	}
+	ticker := time.NewTicker(streamPoll)
+	defer ticker.Stop()
+	var prev *Snapshot
+	for {
+		s := tap.Load()
+		if s != nil && (prev == nil || s.Seq != prev.Seq) {
+			msg := map[string]any{
+				"run":      runHeadline(name, s, prev),
+				"counters": s.Counters,
+				"series":   s.DeltaSince(prev),
+			}
+			sseEvent(w, fl, "snapshot", msg)
+			prev = s
+			if s.Done {
+				return
+			}
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// streamOverview streams the run overview until every attached run is done.
+func (h *Hub) streamOverview(w http.ResponseWriter, r *http.Request) {
+	fl, ok := sseSetup(w)
+	if !ok {
+		return
+	}
+	ticker := time.NewTicker(streamPoll)
+	defer ticker.Stop()
+	var lastSum uint64
+	first := true
+	for {
+		ov := h.overview()
+		runs := ov["runs"].([]runJSON)
+		var sum uint64
+		allDone := len(runs) > 0
+		for _, rj := range runs {
+			sum += rj.Seq
+			if !rj.Done {
+				allDone = false
+			}
+		}
+		if first || sum != lastSum {
+			sseEvent(w, fl, "overview", ov)
+			lastSum = sum
+			first = false
+			if allDone {
+				return
+			}
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// Server is a running live-telemetry HTTP server.
+type Server struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve starts an HTTP server for the hub on addr and returns immediately;
+// the server runs until Close. Readers it serves only ever Load published
+// snapshots, so serving during a run is safe by construction.
+func Serve(addr string, h *Hub) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

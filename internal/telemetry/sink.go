@@ -80,9 +80,18 @@ func (s CSVSink) Series(sr *Series) error {
 	})
 }
 
+// captureComment renders the trace's capture policy as a CSV comment line
+// (parsed back by cmd/congatrace -read).
+func captureComment(info CaptureInfo) string {
+	return fmt.Sprintf("# capture=%s cap=%d recorded=%d seen=%d suppressed=%d trigger=%s triggered=%t triggered_at_ns=%d reason=%s",
+		info.Mode, info.Cap, info.Recorded, info.Seen, info.Suppressed,
+		info.Trigger, info.Triggered, int64(info.TriggeredAt), sanitizeName(info.TriggerReason))
+}
+
 // Trace implements Sink.
 func (s CSVSink) Trace(tr *PacketTrace) error {
 	return writeFile(s.Dir, "trace.csv", func(w *bufio.Writer) error {
+		fmt.Fprintln(w, captureComment(tr.Info()))
 		fmt.Fprintln(w, "time_ns,event,where,flow,src,dst,sport,dport,seq,payload")
 		for _, e := range tr.Events() {
 			fmt.Fprintf(w, "%d,%s,%s,%d,%d,%d,%d,%d,%d,%d\n",
@@ -142,6 +151,11 @@ func (s NDJSONSink) Series(sr *Series) error {
 // Trace implements Sink.
 func (s NDJSONSink) Trace(tr *PacketTrace) error {
 	return writeFile(s.Dir, "trace.ndjson", func(w *bufio.Writer) error {
+		info := tr.Info()
+		fmt.Fprintf(w, `{"capture":{"mode":%s,"cap":%d,"recorded":%d,"seen":%d,"suppressed":%d,"trigger":%s,"triggered":%t,"triggered_at_ns":%d,"reason":%s}}`+"\n",
+			jsonString(info.Mode.String()), info.Cap, info.Recorded, info.Seen,
+			info.Suppressed, jsonString(info.Trigger.String()), info.Triggered,
+			int64(info.TriggeredAt), jsonString(info.TriggerReason))
 		for _, e := range tr.Events() {
 			fmt.Fprintf(w, `{"time_ns":%d,"event":%s,"where":%s,"flow":%d,"src":%d,"dst":%d,"sport":%d,"dport":%d,"seq":%d,"payload":%d}`+"\n",
 				int64(e.T), jsonString(e.Kind.String()), jsonString(e.Where),

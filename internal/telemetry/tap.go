@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+
+	"conga/internal/sim"
+)
+
+// Progress is harness-level run progress surfaced through tap snapshots.
+// The harness registers a closure (Registry.SetProgress) that reads its own
+// counters; the closure runs on the engine goroutine at publish time, so it
+// needs no synchronization.
+type Progress struct {
+	// FlowsGenerated / FlowsCompleted count workload flows started and
+	// finished (for Incast runs: rounds).
+	FlowsGenerated, FlowsCompleted int
+	// Events is the engine's executed-event count at snapshot time.
+	Events uint64
+}
+
+// TapSeries is one series' state inside a snapshot: a private copy of the
+// retained points plus the stride, so a reader can compute deltas against
+// its previous snapshot (see DeltaSince).
+type TapSeries struct {
+	Name   string
+	Unit   string
+	Stride int
+	Points []Point
+}
+
+// Snapshot is one immutable published view of a registry. Every field —
+// including the points and counter rows — is a private copy made at the
+// safe point; once published, nothing mutates it, which is what makes
+// concurrent readers race-free by construction.
+type Snapshot struct {
+	// Seq increments per publish (1-based); a reader polls Load and acts
+	// only when Seq advances.
+	Seq uint64
+	// SimTime is the engine's clock at the safe point; Wall is the
+	// wall-clock publish time (unix nanoseconds) so readers can compute
+	// events/sec across snapshots.
+	SimTime sim.Time
+	Wall    int64
+	// Done marks the final snapshot, published by the harness after the
+	// engine stops (SSE streams close on it).
+	Done     bool
+	Progress Progress
+	Counters []CounterRow
+	Series   []TapSeries
+}
+
+// SeriesDelta is the part of a snapshot's series a reader has not seen yet.
+type SeriesDelta struct {
+	Name   string
+	Unit   string
+	Stride int
+	// Reset reports that the series was compacted (stride grew) since the
+	// previous snapshot, so Points replaces — rather than extends — what
+	// the reader accumulated.
+	Reset  bool
+	Points []Point
+}
+
+// DeltaSince returns the per-series deltas between prev (which may be nil:
+// everything is new) and s.
+func (s *Snapshot) DeltaSince(prev *Snapshot) []SeriesDelta {
+	if s == nil {
+		return nil
+	}
+	prevIdx := map[string]TapSeries{}
+	if prev != nil {
+		for _, ps := range prev.Series {
+			prevIdx[ps.Name] = ps
+		}
+	}
+	out := make([]SeriesDelta, 0, len(s.Series))
+	for _, cur := range s.Series {
+		d := SeriesDelta{Name: cur.Name, Unit: cur.Unit, Stride: cur.Stride}
+		if ps, ok := prevIdx[cur.Name]; ok && ps.Stride == cur.Stride && len(ps.Points) <= len(cur.Points) {
+			d.Points = cur.Points[len(ps.Points):]
+		} else {
+			d.Reset = true
+			d.Points = cur.Points
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Tap is the lock-free handoff between one engine and any number of reader
+// goroutines. The engine builds a fresh immutable Snapshot at a safe point
+// and publishes it with a single atomic pointer store; readers Load the
+// pointer whenever they like. There is no lock, no channel, and no
+// back-pressure: a slow reader simply observes fewer snapshots, and the
+// engine never blocks or schedules events on the tap's behalf — which is
+// why an attached reader cannot perturb the simulation.
+type Tap struct {
+	cur atomic.Pointer[Snapshot]
+
+	// Engine-side publish throttling state; touched only by the owning
+	// engine goroutine.
+	interval  sim.Time
+	wallMin   time.Duration
+	lastSim   sim.Time
+	lastWall  time.Time
+	seq       uint64
+	published bool
+}
+
+func newTap(interval sim.Time, wallMin time.Duration) *Tap {
+	return &Tap{interval: interval, wallMin: wallMin}
+}
+
+// Load returns the latest published snapshot, or nil before the first
+// publish. Safe to call from any goroutine and on a nil receiver.
+func (t *Tap) Load() *Snapshot {
+	if t == nil {
+		return nil
+	}
+	return t.cur.Load()
+}
+
+// Tap returns the registry's streaming tap, or nil when disabled.
+func (r *Registry) Tap() *Tap {
+	if r == nil {
+		return nil
+	}
+	return r.tap
+}
+
+// SetProgress registers the closure PublishTap calls (on the engine
+// goroutine) to fill Snapshot.Progress.
+func (r *Registry) SetProgress(fn func() Progress) {
+	if r == nil {
+		return
+	}
+	r.progress = fn
+}
+
+// PublishTap publishes a snapshot if the tap is enabled and both throttle
+// gates (sim-time interval, wall-clock minimum) have elapsed. The fabric
+// calls it from the DRE-decay ticker — an existing safe point — so
+// publishing adds no events and consumes no engine randomness.
+func (r *Registry) PublishTap(now sim.Time) {
+	if r == nil || r.tap == nil {
+		return
+	}
+	t := r.tap
+	if t.published {
+		if now-t.lastSim < t.interval {
+			return
+		}
+		if t.wallMin > 0 && time.Since(t.lastWall) < t.wallMin {
+			return
+		}
+	}
+	r.publish(now, false)
+}
+
+// FinishTap publishes the final snapshot (Done=true), unconditionally. The
+// harness calls it after the engine stops and collectors ran.
+func (r *Registry) FinishTap(now sim.Time) {
+	if r == nil || r.tap == nil {
+		return
+	}
+	r.publish(now, true)
+}
+
+func (r *Registry) publish(now sim.Time, done bool) {
+	t := r.tap
+	t.seq++
+	snap := &Snapshot{
+		Seq:     t.seq,
+		SimTime: now,
+		Wall:    time.Now().UnixNano(),
+		Done:    done,
+	}
+	if r.progress != nil {
+		snap.Progress = r.progress()
+	}
+	r.Collect()
+	snap.Counters = r.CounterRows()
+	if len(r.series) > 0 {
+		snap.Series = make([]TapSeries, 0, len(r.series))
+		for _, s := range r.series {
+			snap.Series = append(snap.Series, TapSeries{
+				Name:   s.Name(),
+				Unit:   s.Unit(),
+				Stride: s.Stride(),
+				Points: append([]Point(nil), s.Points()...),
+			})
+		}
+	}
+	t.lastSim = now
+	t.lastWall = time.Now()
+	t.published = true
+	t.cur.Store(snap)
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// tapRegistry builds a registry with a live tap (wall gate disabled so
+// tests control publishing purely with sim time) attached to hub.
+func tapRegistry(hub *Hub, name string) *Registry {
+	return New(Options{
+		Counters: true, Series: true, SeriesCap: 16,
+		Tap: true, TapInterval: 100, TapWall: -1,
+		Hub: hub, RunName: name,
+	})
+}
+
+func TestTapPublishGating(t *testing.T) {
+	r := tapRegistry(nil, "")
+	tap := r.Tap()
+	if tap == nil {
+		t.Fatal("tap requested but absent")
+	}
+	if tap.Load() != nil {
+		t.Fatal("snapshot existed before any publish")
+	}
+	s := r.NewSeries("q", "bytes")
+	s.Observe(10, 1)
+
+	r.PublishTap(10)
+	first := tap.Load()
+	if first == nil || first.Seq != 1 || first.Done {
+		t.Fatalf("first publish: %+v", first)
+	}
+	r.PublishTap(50) // within the 100ns sim interval: gated
+	if tap.Load().Seq != 1 {
+		t.Fatal("publish inside the sim interval was not gated")
+	}
+	s.Observe(120, 2)
+	r.PublishTap(120)
+	second := tap.Load()
+	if second.Seq != 2 || len(second.Series) == 0 {
+		t.Fatalf("second publish: %+v", second)
+	}
+	// Snapshots are immutable copies: later observations must not leak
+	// into an already-published snapshot.
+	nPts := len(second.Series[0].Points)
+	s.Observe(130, 3)
+	if len(tap.Load().Series[0].Points) != nPts {
+		t.Fatal("published snapshot aliases the live series buffer")
+	}
+
+	r.FinishTap(125) // final publish ignores the interval gate
+	last := tap.Load()
+	if last.Seq != 3 || !last.Done {
+		t.Fatalf("FinishTap: %+v", last)
+	}
+}
+
+func TestSnapshotDeltaSince(t *testing.T) {
+	mk := func(stride int, pts ...Point) *Snapshot {
+		return &Snapshot{Series: []TapSeries{{Name: "q", Unit: "bytes", Stride: stride, Points: pts}}}
+	}
+	a := mk(1, Point{T: 1, V: 1}, Point{T: 2, V: 2})
+	b := mk(1, Point{T: 1, V: 1}, Point{T: 2, V: 2}, Point{T: 3, V: 3})
+	d := b.DeltaSince(a)
+	if len(d) != 1 || d[0].Reset || len(d[0].Points) != 1 || d[0].Points[0].T != 3 {
+		t.Fatalf("append-only delta: %+v", d)
+	}
+	// A stride change means the ring re-decimated: the delta must resend
+	// everything with Reset so readers drop their accumulated view.
+	c := mk(2, Point{T: 2, V: 2}, Point{T: 4, V: 4})
+	d = c.DeltaSince(b)
+	if len(d) != 1 || !d[0].Reset || len(d[0].Points) != 2 {
+		t.Fatalf("stride-change delta: %+v", d)
+	}
+	// No previous snapshot: full resend.
+	d = a.DeltaSince(nil)
+	if len(d) != 1 || !d[0].Reset || len(d[0].Points) != 2 {
+		t.Fatalf("first delta: %+v", d)
+	}
+}
+
+func TestHubHTTPEndpoints(t *testing.T) {
+	hub := NewHub()
+	r := tapRegistry(hub, "demo")
+	r.Link("l0->s0.0").Enqueues++
+	s := r.NewSeries("queue.l0->s0.0", "bytes")
+	s.Observe(10, 1500)
+	r.Collect()
+	r.FinishTap(10)
+
+	srv := httptest.NewServer(hub.Handler())
+	defer srv.Close()
+
+	get := func(path string, v any) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+
+	var ov struct {
+		Runs []struct {
+			Name string `json:"name"`
+			Done bool   `json:"done"`
+		} `json:"runs"`
+	}
+	get("/", &ov)
+	if len(ov.Runs) != 1 || ov.Runs[0].Name != "demo" || !ov.Runs[0].Done {
+		t.Fatalf("overview: %+v", ov)
+	}
+
+	var cnt struct {
+		Counters []CounterRow `json:"counters"`
+	}
+	get("/counters?run=demo", &cnt)
+	found := false
+	for _, row := range cnt.Counters {
+		if row.Name == "l0->s0.0" && row.Counter == "enqueues" && row.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("enqueue counter missing from /counters: %+v", cnt.Counters)
+	}
+
+	var idx struct {
+		Series []string `json:"series"`
+	}
+	get("/series", &idx)
+	if len(idx.Series) != 1 || idx.Series[0] != "queue.l0->s0.0" {
+		t.Fatalf("series index: %+v", idx)
+	}
+
+	// Both the raw name and its filesystem-sanitized form resolve.
+	for _, path := range []string{"/series/queue.l0->s0.0", "/series/" + sanitizeName("queue.l0->s0.0")} {
+		var sj seriesJSON
+		get(path, &sj)
+		if sj.Probe != "queue.l0->s0.0" || sj.Unit != "bytes" || len(sj.Points) != 1 {
+			t.Fatalf("GET %s: %+v", path, sj)
+		}
+	}
+
+	// Unknown run 404s and names the known runs.
+	resp, err := srv.Client().Get(srv.URL + "/counters?run=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 256)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != 404 || !strings.Contains(string(body[:n]), "demo") {
+		t.Fatalf("unknown run: %s %q", resp.Status, body[:n])
+	}
+}

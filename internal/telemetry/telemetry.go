@@ -26,6 +26,9 @@ package telemetry
 import (
 	"fmt"
 	"sort"
+	"time"
+
+	"conga/internal/sim"
 )
 
 // Options selects which probes a Registry activates. The zero value enables
@@ -50,6 +53,32 @@ type Options struct {
 	// TraceFilter restricts the trace to matching packets. The zero value
 	// matches everything.
 	TraceFilter Filter
+	// TraceMode selects what a full trace keeps: the head of the run
+	// (default), the tail (flight recorder), or a uniform reservoir.
+	TraceMode CaptureMode
+	// TraceTrigger freezes the trace when a condition first fires (first
+	// drop, first RTO); zero means never.
+	TraceTrigger Trigger
+	// TraceStopAfter records this many further matching events after the
+	// trigger before freezing (0 = freeze at the trigger).
+	TraceStopAfter int
+	// Tap enables the lock-free streaming tap: the engine publishes
+	// immutable snapshots at collector safe points for concurrent readers
+	// (the HTTP live endpoint, tests, monitoring goroutines).
+	Tap bool
+	// TapInterval is the minimum simulated time between tap snapshots
+	// (default 1ms sim time).
+	TapInterval sim.Time
+	// TapWall is the minimum wall-clock time between tap snapshots
+	// (default 100ms; negative disables the wall gate). It bounds snapshot
+	// copying cost on fast runs without touching simulated behavior:
+	// whether a safe point publishes is invisible to the simulation.
+	TapWall time.Duration
+	// Hub, when non-nil, receives the registry's tap at New time under
+	// RunName, so an HTTP server can discover runs as a sweep starts them.
+	Hub *Hub
+	// RunName labels this registry's tap on the Hub ("" = auto "run-N").
+	RunName string
 	// Dir, when non-empty, is where Flush writes one CSV and one NDJSON
 	// file per probe.
 	Dir string
@@ -70,6 +99,12 @@ func (o Options) withDefaults() Options {
 		o.TraceCap = 65536
 	}
 	o.TraceFilter = o.TraceFilter.normalized()
+	if o.TapInterval <= 0 {
+		o.TapInterval = sim.Time(1e6) // 1ms sim time
+	}
+	if o.TapWall == 0 {
+		o.TapWall = 100 * time.Millisecond
+	}
 	return o
 }
 
@@ -136,6 +171,9 @@ type Registry struct {
 	byName  map[string]*Series
 	trace   *PacketTrace
 	collect []func()
+
+	tap      *Tap
+	progress func() Progress
 }
 
 // New returns a registry for the given options. It never returns nil (use a
@@ -149,7 +187,14 @@ func New(opts Options) *Registry {
 		byName:  make(map[string]*Series),
 	}
 	if opts.Trace {
-		r.trace = newPacketTrace(opts.TraceCap, opts.TraceFilter)
+		r.trace = newPacketTrace(opts.TraceCap, opts.TraceFilter,
+			opts.TraceMode, opts.TraceTrigger, opts.TraceStopAfter)
+	}
+	if opts.Tap {
+		r.tap = newTap(opts.TapInterval, opts.TapWall)
+		if opts.Hub != nil {
+			opts.Hub.attach(opts.RunName, r.tap)
+		}
 	}
 	return r
 }

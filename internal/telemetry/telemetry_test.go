@@ -131,7 +131,7 @@ func TestTraceFilter(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			tr := newPacketTrace(16, c.filter.normalized())
+			tr := newPacketTrace(16, c.filter.normalized(), CaptureHead, 0, 0)
 			record(tr)
 			if tr.Len() != c.want {
 				t.Fatalf("recorded %d events, want %d", tr.Len(), c.want)
@@ -143,7 +143,7 @@ func TestTraceFilter(t *testing.T) {
 func TestTraceSampleEvery(t *testing.T) {
 	f := MatchAll()
 	f.SampleEvery = 4
-	tr := newPacketTrace(100, f)
+	tr := newPacketTrace(100, f, CaptureHead, 0, 0)
 	for i := 0; i < 20; i++ {
 		tr.Record(sim.Time(i), TraceSend, "h0", 1, 0, 1, 1, 1, int64(i), 1)
 	}
@@ -158,7 +158,7 @@ func TestTraceSampleEvery(t *testing.T) {
 }
 
 func TestTraceCapAndSuppressed(t *testing.T) {
-	tr := newPacketTrace(4, MatchAll())
+	tr := newPacketTrace(4, MatchAll(), CaptureHead, 0, 0)
 	for i := 0; i < 10; i++ {
 		tr.Record(sim.Time(i), TraceDrop, "l0", 1, 0, 1, 1, 1, 0, 1)
 	}

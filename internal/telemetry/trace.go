@@ -1,6 +1,12 @@
 package telemetry
 
-import "conga/internal/sim"
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"conga/internal/sim"
+)
 
 // TraceKind classifies a packet-trace event.
 type TraceKind uint8
@@ -57,6 +63,102 @@ func (f Filter) normalized() Filter {
 	return f
 }
 
+// CaptureMode selects which matching events a full PacketTrace retains.
+type CaptureMode uint8
+
+const (
+	// CaptureHead keeps the first TraceCap matching events and suppresses
+	// the rest: cheapest mode, right for "how does the run start".
+	CaptureHead CaptureMode = iota
+	// CaptureTail is the flight recorder: a ring that overwrites the
+	// oldest retained event, so the trace always holds the last TraceCap
+	// events before the run (or a trigger) stopped it.
+	CaptureTail
+	// CaptureReservoir keeps a uniform random sample of all matching
+	// events (Vitter's Algorithm R) using a private deterministic PRNG,
+	// for an unbiased whole-run picture at bounded memory.
+	CaptureReservoir
+)
+
+// String returns the mode name used in flushed trace headers.
+func (m CaptureMode) String() string {
+	switch m {
+	case CaptureHead:
+		return "head"
+	case CaptureTail:
+		return "tail"
+	case CaptureReservoir:
+		return "reservoir"
+	}
+	return "?"
+}
+
+// ParseCaptureMode parses "head", "tail" or "reservoir" (as accepted by the
+// CLI -trace-mode flags and emitted by String).
+func ParseCaptureMode(s string) (CaptureMode, error) {
+	switch s {
+	case "head", "":
+		return CaptureHead, nil
+	case "tail":
+		return CaptureTail, nil
+	case "reservoir":
+		return CaptureReservoir, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown capture mode %q (want head, tail or reservoir)", s)
+}
+
+// Trigger is a bitmask of conditions that freeze the trace (after an
+// optional TraceStopAfter countdown), flight-recorder style: the buffer
+// stops evolving so it holds the events leading up to the condition.
+type Trigger uint8
+
+const (
+	// TriggerFirstDrop freezes the trace when the first TraceDrop event is
+	// recorded (detected inside Record, before the filter runs, so a
+	// flow-filtered trace still stops on any drop in the fabric).
+	TriggerFirstDrop Trigger = 1 << iota
+	// TriggerFirstRTO freezes the trace when the first TCP retransmission
+	// timeout fires anywhere on the engine (via PacketTrace.TriggerRTO,
+	// called from the sender's timeout path).
+	TriggerFirstRTO
+)
+
+// String returns the trigger names ("first-drop", "first-rto",
+// "first-drop|first-rto", or "none") used in flushed trace headers.
+func (g Trigger) String() string {
+	var parts []string
+	if g&TriggerFirstDrop != 0 {
+		parts = append(parts, "first-drop")
+	}
+	if g&TriggerFirstRTO != 0 {
+		parts = append(parts, "first-rto")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "|")
+}
+
+// ParseTrigger parses a trigger spec: "", "none", or a |-separated list of
+// "first-drop" / "first-rto" / "drop" / "rto".
+func ParseTrigger(s string) (Trigger, error) {
+	var g Trigger
+	if s == "" || s == "none" {
+		return 0, nil
+	}
+	for _, part := range strings.Split(s, "|") {
+		switch part {
+		case "first-drop", "drop":
+			g |= TriggerFirstDrop
+		case "first-rto", "rto":
+			g |= TriggerFirstRTO
+		default:
+			return 0, fmt.Errorf("telemetry: unknown trace trigger %q (want first-drop, first-rto or none)", part)
+		}
+	}
+	return g, nil
+}
+
 // TraceEvent is one recorded packet event.
 type TraceEvent struct {
 	T       sim.Time
@@ -71,64 +173,238 @@ type TraceEvent struct {
 	Payload int
 }
 
+// reservoirSeed is the fixed seed for the reservoir's private PRNG. The
+// stream is independent of every engine PRNG (the trace never consumes
+// engine randomness), so reservoir tracing cannot perturb the simulation,
+// and a fixed seed keeps the retained sample reproducible across runs.
+const reservoirSeed = 0x9e3779b97f4a7c15
+
 // PacketTrace is a bounded buffer of packet events matched by a Filter.
-// Once full it stops recording and counts suppressed events, so a trace can
-// be left on for a whole run without unbounded growth.
+// What happens when it fills depends on the CaptureMode: head stops
+// recording, tail overwrites the oldest event, reservoir keeps a uniform
+// sample. Every retained-set eviction (and every event recorded-then-
+// overwritten) bumps Suppressed, so recorded+suppressed always equals the
+// number of matching events seen.
+//
+// A Trigger freezes the buffer when its condition first fires (after
+// recording StopAfter further events), answering "what happened right
+// before the collapse" without post-processing.
 type PacketTrace struct {
 	filter Filter
+	mode   CaptureMode
 	events []TraceEvent
-	// Suppressed counts matching events dropped after the buffer filled.
+	// Suppressed counts matching events not present in the retained set:
+	// capacity-suppressed (head), ring-evicted (tail), not-retained
+	// (reservoir), and events arriving after a trigger froze the buffer.
 	Suppressed uint64
 	seen       int // matching events observed, for SampleEvery
+
+	start   int       // tail mode: ring index of the oldest retained event
+	resSeen int       // reservoir mode: events offered to the reservoir
+	rng     *sim.Rand // reservoir mode: private PRNG, never the engine's
+
+	trigger   Trigger
+	stopAfter int // events still recorded after the trigger fires
+	frozen    bool
+
+	// Triggered reports whether a trigger condition fired; TriggeredAt and
+	// TriggerReason record when and which ("first-drop", "first-rto", or a
+	// caller-supplied reason via TriggerStop).
+	Triggered     bool
+	TriggeredAt   sim.Time
+	TriggerReason string
 }
 
-func newPacketTrace(capacity int, f Filter) *PacketTrace {
-	return &PacketTrace{filter: f, events: make([]TraceEvent, 0, capacity)}
+func newPacketTrace(capacity int, f Filter, mode CaptureMode, trigger Trigger, stopAfter int) *PacketTrace {
+	tr := &PacketTrace{
+		filter:  f,
+		mode:    mode,
+		events:  make([]TraceEvent, 0, capacity),
+		trigger: trigger,
+	}
+	if stopAfter > 0 {
+		tr.stopAfter = stopAfter
+	}
+	if mode == CaptureReservoir {
+		tr.rng = sim.NewRand(reservoirSeed)
+	}
+	return tr
 }
 
-// Record appends an event if it matches the filter and the buffer has room.
-// Scalar parameters (rather than a packet struct) keep telemetry free of a
-// fabric dependency. Safe on a nil receiver.
+// Mode returns the trace's capture mode.
+func (tr *PacketTrace) Mode() CaptureMode {
+	if tr == nil {
+		return CaptureHead
+	}
+	return tr.mode
+}
+
+// Record offers an event to the trace. Trigger conditions are evaluated
+// before the filter, then the event is recorded if it matches and the
+// buffer's capture mode retains it. Scalar parameters (rather than a packet
+// struct) keep telemetry free of a fabric dependency. Safe on a nil
+// receiver.
 func (tr *PacketTrace) Record(t sim.Time, kind TraceKind, where string, flowID uint64, src, dst, sport, dport int, seq int64, payload int) {
 	if tr == nil {
 		return
 	}
+	firedNow := false
+	if kind == TraceDrop && tr.trigger&TriggerFirstDrop != 0 && !tr.Triggered {
+		// Fire but don't freeze yet: the triggering drop itself is the
+		// event of interest and must be retained (when it matches the
+		// filter) before the countdown starts.
+		tr.Triggered = true
+		tr.TriggeredAt = t
+		tr.TriggerReason = "first-drop"
+		firedNow = true
+	}
 	f := &tr.filter
-	if f.FlowID >= 0 && uint64(f.FlowID) != flowID {
-		return
+	match := true
+	switch {
+	case f.FlowID >= 0 && uint64(f.FlowID) != flowID:
+		match = false
+	case f.SrcHost >= 0 && f.SrcHost != src:
+		match = false
+	case f.DstHost >= 0 && f.DstHost != dst:
+		match = false
+	case f.SrcPort >= 0 && f.SrcPort != sport:
+		match = false
+	case f.DstPort >= 0 && f.DstPort != dport:
+		match = false
 	}
-	if f.SrcHost >= 0 && f.SrcHost != src {
-		return
-	}
-	if f.DstHost >= 0 && f.DstHost != dst {
-		return
-	}
-	if f.SrcPort >= 0 && f.SrcPort != sport {
-		return
-	}
-	if f.DstPort >= 0 && f.DstPort != dport {
+	if !match {
+		// A triggering drop outside the filter still freezes the buffer
+		// once its countdown is spent.
+		if firedNow && tr.stopAfter == 0 {
+			tr.frozen = true
+		}
 		return
 	}
 	tr.seen++
 	if f.SampleEvery > 1 && (tr.seen-1)%f.SampleEvery != 0 {
+		if firedNow && tr.stopAfter == 0 {
+			tr.frozen = true
+		}
 		return
 	}
-	if len(tr.events) == cap(tr.events) {
+	if tr.frozen {
 		tr.Suppressed++
 		return
 	}
-	tr.events = append(tr.events, TraceEvent{
+	ev := TraceEvent{
 		T: t, Kind: kind, Where: where, FlowID: flowID,
 		Src: src, Dst: dst, SrcPort: sport, DstPort: dport,
 		Seq: seq, Payload: payload,
-	})
+	}
+	switch tr.mode {
+	case CaptureTail:
+		if len(tr.events) < cap(tr.events) {
+			tr.events = append(tr.events, ev)
+		} else {
+			tr.events[tr.start] = ev
+			tr.start++
+			if tr.start == len(tr.events) {
+				tr.start = 0
+			}
+			tr.Suppressed++ // the evicted oldest event
+		}
+	case CaptureReservoir:
+		tr.resSeen++
+		if len(tr.events) < cap(tr.events) {
+			tr.events = append(tr.events, ev)
+		} else {
+			// Algorithm R: replace a uniform slot with probability
+			// cap/resSeen. Either the current event or the one it evicts
+			// ends up outside the retained set, so Suppressed++ both ways.
+			if j := tr.rng.Intn(tr.resSeen); j < len(tr.events) {
+				tr.events[j] = ev
+			}
+			tr.Suppressed++
+		}
+	default: // CaptureHead
+		if len(tr.events) < cap(tr.events) {
+			tr.events = append(tr.events, ev)
+		} else {
+			tr.Suppressed++
+			return
+		}
+	}
+	if tr.Triggered {
+		// The triggering event itself does not consume the countdown:
+		// StopAfter counts further events recorded past the trigger.
+		if firedNow {
+			if tr.stopAfter == 0 {
+				tr.frozen = true
+			}
+			return
+		}
+		if tr.stopAfter > 0 {
+			tr.stopAfter--
+		}
+		if tr.stopAfter == 0 {
+			tr.frozen = true
+		}
+	}
 }
 
-// Events returns the recorded events in time order. The slice aliases the
-// buffer; callers must not modify it.
+// TriggerRTO notifies the trace that a TCP retransmission timeout fired;
+// it freezes the buffer when TriggerFirstRTO is armed. Safe on a nil
+// receiver, so the sender's timeout path needs no enable check.
+func (tr *PacketTrace) TriggerRTO(now sim.Time) {
+	if tr == nil || tr.trigger&TriggerFirstRTO == 0 || tr.Triggered {
+		return
+	}
+	tr.fire(now, "first-rto")
+}
+
+// TriggerStop manually fires the flight-recorder stop (the harness or a
+// test deciding "this is the moment of interest"). Safe on a nil receiver;
+// a second trigger is ignored.
+func (tr *PacketTrace) TriggerStop(now sim.Time, reason string) {
+	if tr == nil || tr.Triggered {
+		return
+	}
+	tr.fire(now, reason)
+}
+
+func (tr *PacketTrace) fire(now sim.Time, reason string) {
+	tr.Triggered = true
+	tr.TriggeredAt = now
+	tr.TriggerReason = reason
+	if tr.stopAfter == 0 {
+		tr.frozen = true
+	}
+}
+
+// Frozen reports whether a trigger has stopped the trace.
+func (tr *PacketTrace) Frozen() bool {
+	return tr != nil && tr.frozen
+}
+
+// Events returns the recorded events in time order. In head and reservoir
+// mode before rotation is needed the slice may alias the buffer; callers
+// must not modify it. Tail mode returns a rotated copy (oldest first);
+// reservoir mode returns a time-sorted copy.
 func (tr *PacketTrace) Events() []TraceEvent {
 	if tr == nil {
 		return nil
+	}
+	switch tr.mode {
+	case CaptureTail:
+		if tr.start == 0 {
+			return tr.events
+		}
+		out := make([]TraceEvent, 0, len(tr.events))
+		out = append(out, tr.events[tr.start:]...)
+		out = append(out, tr.events[:tr.start]...)
+		return out
+	case CaptureReservoir:
+		// Events enter in time order but replacements scramble slots;
+		// re-sort by time for presentation. Ties keep slot order, which is
+		// deterministic for a fixed seed.
+		out := append([]TraceEvent(nil), tr.events...)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+		return out
 	}
 	return tr.events
 }
@@ -139,4 +415,37 @@ func (tr *PacketTrace) Len() int {
 		return 0
 	}
 	return len(tr.events)
+}
+
+// CaptureInfo is the trace's capture policy and outcome, emitted as a
+// header by the sinks and summarized by cmd/congatrace.
+type CaptureInfo struct {
+	Mode          CaptureMode
+	Cap           int
+	Recorded      int
+	Seen          int // matching events observed (before SampleEvery)
+	Suppressed    uint64
+	Trigger       Trigger
+	Triggered     bool
+	TriggeredAt   sim.Time
+	TriggerReason string
+}
+
+// Info returns the trace's capture policy and outcome. Safe on a nil
+// receiver (zero value).
+func (tr *PacketTrace) Info() CaptureInfo {
+	if tr == nil {
+		return CaptureInfo{}
+	}
+	return CaptureInfo{
+		Mode:          tr.mode,
+		Cap:           cap(tr.events),
+		Recorded:      len(tr.events),
+		Seen:          tr.seen,
+		Suppressed:    tr.Suppressed,
+		Trigger:       tr.trigger,
+		Triggered:     tr.Triggered,
+		TriggeredAt:   tr.TriggeredAt,
+		TriggerReason: tr.TriggerReason,
+	}
 }

@@ -1,17 +1,31 @@
 // Command benchguard is the CI benchmark regression gate: it parses `go
-// test -bench` output, looks the named benchmark's baseline up in a
-// BENCH_*.json record, and exits nonzero if the measured ns/op regressed by
-// more than the allowed fraction.
+// test -bench` output, looks each benchmark's baseline up in a
+// BENCH_*.json record, and exits nonzero on a regression.
+//
+// Three metrics are gated, each with its own policy:
+//
+//   - ns/op      — wall-clock; allowed to drift up to -max-regress (15%).
+//   - events/op  — simulation event count; must match the baseline EXACTLY.
+//     Figure benchmarks run fixed seeds, so any drift means the simulation
+//     itself changed behavior (the determinism guarantee broke), not that
+//     the machine was slow.
+//   - allocs/op  — heap allocations; allowed up to -max-alloc-regress (10%)
+//     to absorb runtime/map noise while still catching real allocation
+//     regressions on the packet path.
+//
+// Every benchmark present in the output that has a baseline entry is
+// checked; -require lists benchmarks that must appear in the output (so a
+// silently-skipped benchmark can't pass the gate).
 //
 // Usage:
 //
-//	go test -bench BenchmarkEngineRaw -benchtime 200000x -run '^$' . | tee out.txt
-//	go run ./tools/benchguard -baseline BENCH_PR2.json -max-regress 0.15 out.txt
+//	make bench-quick | tee bench-quick.txt
+//	go run ./tools/benchguard -baseline BENCH_PR2.json bench-quick.txt
 //
-// The baseline file's schema is the one BENCH_PR2.json uses:
-// {"benchmarks": {"<name>": {"after": {"ns_op": <number>}}}}. Only ns/op is
-// gated — events/op and allocs/op invariance is asserted by tests, and
-// wall-clock is the one axis that can drift without failing anything else.
+// The baseline schema is the one BENCH_PR2.json uses:
+// {"benchmarks": {"<name>": {"after": {"ns_op": N, "events_op": N, "allocs_op": N}}}}.
+// A metric absent from (or zero in) the baseline is not gated for that
+// benchmark, so entries can opt in per metric.
 package main
 
 import (
@@ -25,22 +39,37 @@ import (
 	"strings"
 )
 
-// benchLine matches e.g. "BenchmarkEngineRaw-8   200000   1423 ns/op   64.0 events/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+// benchLine matches a benchmark result line, e.g.
+// "BenchmarkFig09Enterprise-8  1  6.2e+08 ns/op  5265648 B/op  634045 allocs/op  5086806 events/op  1.912 normFCT".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// metricPair matches one "<value> <unit>" measurement within the line tail.
+var metricPair = regexp.MustCompile(`([\d.eE+-]+)\s+([^\s]+)`)
+
+type baselineMetrics struct {
+	NsOp     float64 `json:"ns_op"`
+	EventsOp float64 `json:"events_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
 
 type baselineFile struct {
 	Benchmarks map[string]struct {
-		After struct {
-			NsOp float64 `json:"ns_op"`
-		} `json:"after"`
+		After baselineMetrics `json:"after"`
 	} `json:"benchmarks"`
 }
 
+// measured holds the metrics parsed from one benchmark output line.
+type measured map[string]float64
+
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR2.json", "baseline JSON file")
-		bench        = flag.String("bench", "BenchmarkEngineRaw", "benchmark to gate")
-		maxRegress   = flag.Float64("max-regress", 0.15, "allowed fractional ns/op regression over baseline")
+		baselinePath    = flag.String("baseline", "BENCH_PR2.json", "baseline JSON file")
+		maxRegress      = flag.Float64("max-regress", 0.15, "allowed fractional ns/op regression over baseline")
+		maxAllocRegress = flag.Float64("max-alloc-regress", 0.10, "allowed fractional allocs/op regression over baseline")
+		require         = flag.String("require", "BenchmarkEngineRaw,BenchmarkFig09Enterprise",
+			"comma-separated benchmarks that must be present in the output")
+		nsBenches = flag.String("ns-benches", "BenchmarkEngineRaw",
+			"comma-separated benchmarks whose ns/op is gated; others only gate events/op and allocs/op (single-iteration figure runs are too wall-clock-noisy across machines)")
 	)
 	flag.Parse()
 
@@ -52,11 +81,6 @@ func main() {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatal("parse %s: %v", *baselinePath, err)
 	}
-	entry, ok := base.Benchmarks[*bench]
-	if !ok || entry.After.NsOp <= 0 {
-		fatal("%s has no after.ns_op baseline for %s", *baselinePath, *bench)
-	}
-	want := entry.After.NsOp
 
 	in := os.Stdin
 	if flag.NArg() > 0 {
@@ -68,34 +92,92 @@ func main() {
 		in = f
 	}
 
-	got, found := 0.0, false
+	results := map[string]measured{}
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
-		if m == nil || m[1] != *bench {
+		if m == nil {
 			continue
 		}
-		got, err = strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			fatal("bad ns/op %q: %v", m[2], err)
+		got := measured{}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[2], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			got[pair[2]] = v
 		}
-		found = true
+		if len(got) > 0 {
+			results[m[1]] = got // last run wins, as `go test -count` would
+		}
 	}
 	if err := sc.Err(); err != nil {
 		fatal("read bench output: %v", err)
 	}
-	if !found {
-		fatal("no %s result in bench output (did the benchmark run?)", *bench)
+
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := results[name]; !ok {
+			fatal("required benchmark %s missing from output (did it run?)", name)
+		}
 	}
 
-	limit := want * (1 + *maxRegress)
-	delta := (got - want) / want * 100
-	if got > limit {
-		fatal("%s regressed: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
-			*bench, got, want, delta, *maxRegress*100)
+	gateNs := map[string]bool{}
+	for _, name := range strings.Split(*nsBenches, ",") {
+		gateNs[strings.TrimSpace(name)] = true
 	}
-	fmt.Printf("benchguard: %s %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%) — ok\n",
-		*bench, got, want, delta, *maxRegress*100)
+
+	failures := 0
+	checked := 0
+	for name, got := range results {
+		entry, ok := base.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		checked++
+		if gateNs[name] {
+			failures += gate(name, "ns/op", got["ns/op"], entry.After.NsOp, *maxRegress)
+		}
+		failures += gate(name, "events/op", got["events/op"], entry.After.EventsOp, 0)
+		failures += gate(name, "allocs/op", got["allocs/op"], entry.After.AllocsOp, *maxAllocRegress)
+	}
+	if checked == 0 {
+		fatal("no benchmark in the output has a baseline entry in %s", *baselinePath)
+	}
+	if failures > 0 {
+		fatal("%d metric(s) regressed", failures)
+	}
+}
+
+// gate checks one metric against its baseline with a fractional tolerance
+// (0 = exact match required) and returns 1 on failure. A zero/absent
+// baseline or measurement skips the check: not every benchmark reports
+// every metric, and baselines opt in per metric.
+func gate(bench, metric string, got, want, tolerance float64) int {
+	if want <= 0 || got <= 0 {
+		return 0
+	}
+	delta := (got - want) / want * 100
+	if tolerance == 0 {
+		if got != want {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s %s: %v vs baseline %v (%+.2f%%, exact match required — simulation behavior changed)\n",
+				bench, metric, got, want, delta)
+			return 1
+		}
+		fmt.Printf("benchguard: ok   %s %s: %v (exact)\n", bench, metric, got)
+		return 0
+	}
+	if got > want*(1+tolerance) {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL %s %s: %.0f vs baseline %.0f (%+.1f%%, limit +%.0f%%)\n",
+			bench, metric, got, want, delta, tolerance*100)
+		return 1
+	}
+	fmt.Printf("benchguard: ok   %s %s: %.0f vs baseline %.0f (%+.1f%%, limit +%.0f%%)\n",
+		bench, metric, got, want, delta, tolerance*100)
+	return 0
 }
 
 func fatal(format string, args ...any) {
