@@ -27,12 +27,14 @@ bench-engine:
 
 # Quick smoke benchmark for CI and pre-commit: the engine hot path at a
 # fixed iteration count (so ns/op is stable enough for the benchguard
-# regression gate) plus one full figure experiment at a single iteration.
-# Catches gross perf or allocation regressions in about a minute without
-# the full artifact sweep.
+# regression gate), one full figure experiment, and one large-fabric scale
+# cell (64 leaves, ~17M events) at a single iteration. Catches gross perf
+# or allocation regressions in about a minute without the full artifact
+# sweep.
 bench-quick:
 	$(GO) test -bench 'BenchmarkEngineRaw$$' -benchtime 200000x -run '^$$' .
 	$(GO) test -bench 'BenchmarkFig09Enterprise$$' -benchtime 1x -run '^$$' .
+	$(GO) test -bench 'BenchmarkScale64Leaves40G$$' -benchtime 1x -run '^$$' .
 
 # Gate bench-quick output against the recorded baseline: ns/op (15%) on the
 # engine micro-bench, events/op (exact) and allocs/op (10%) on every
@@ -40,6 +42,6 @@ bench-quick:
 # every PR; >15% ns/op regression on the engine hot path fails the build).
 bench-guard:
 	$(MAKE) bench-quick | tee bench-quick.txt
-	$(GO) run ./tools/benchguard -baseline BENCH_PR2.json -max-regress 0.15 bench-quick.txt
+	$(GO) run ./tools/benchguard -baseline BENCH_PR6.json -max-regress 0.15 bench-quick.txt
 
 check: build vet test race

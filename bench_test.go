@@ -104,6 +104,47 @@ func benchFCT(b *testing.B, scheme Scheme, w Workload, load float64, fail bool) 
 	b.ReportMetric(norm/float64(b.N), "normFCT")
 }
 
+// benchScale runs one cell of the large-fabric ScaleConfig sweep. These
+// are the PR 6 scale proof: with the allocation-free flow lifecycle,
+// allocs/op must stay flat (warm-up only) as the fabric grows from 64 to
+// 256 leaves — steady-state work recycles through the per-engine pools.
+func benchScale(b *testing.B, leaves int, accessGbps float64, maxFlows int) {
+	b.Helper()
+	b.ReportAllocs()
+	// Take the cell from the sweep's own expansion so the benchmark and
+	// `congabench scale` measure identical configurations.
+	cfg := ScaleConfig{
+		Leaves:     []int{leaves},
+		AccessGbps: []float64{accessGbps},
+		MaxFlows:   maxFlows,
+	}.Configs()[0]
+	var events uint64
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := RunFCT(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+		norm += res.NormFCT
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(norm/float64(b.N), "normFCT")
+}
+
+// BenchmarkScale64Leaves40G is the smallest sweep cell: 256 hosts at 40G.
+func BenchmarkScale64Leaves40G(b *testing.B) { benchScale(b, 64, 40, 2000) }
+
+// BenchmarkScale128Leaves40G doubles the fabric: 512 hosts at 40G.
+func BenchmarkScale128Leaves40G(b *testing.B) { benchScale(b, 128, 40, 2000) }
+
+// BenchmarkScale256Leaves40G is the largest 40G cell: 1024 hosts.
+func BenchmarkScale256Leaves40G(b *testing.B) { benchScale(b, 256, 40, 2000) }
+
+// BenchmarkScale256Leaves100G is the largest cell at 100G access/fabric.
+func BenchmarkScale256Leaves100G(b *testing.B) { benchScale(b, 256, 100, 2000) }
+
 // BenchmarkFig02Asymmetry regenerates the Figure 2 scenario (ECMP vs local
 // vs CONGA under capacity asymmetry).
 func BenchmarkFig02Asymmetry(b *testing.B) {

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -46,6 +48,7 @@ var experiments = []experiment{
 	{"fig17", "Figure 17 / Theorem 1: Price of Anarchy of the bottleneck game", runFig17},
 	{"thm2", "Theorem 2: traffic imbalance vs time, flow sizes, flowlets", runThm2},
 	{"ablation", "Ablations: parameter sensitivity (Q, τ, Tfl, gap mode)", runAblation},
+	{"scale", "Scale sweep: 64/128/256-leaf fabrics at 40G/100G access", runScale},
 }
 
 // telemetryDir, when set via -telemetry, makes every figure run emit its
@@ -96,12 +99,33 @@ func telemetryFor(tag string) *conga.TelemetryOptions {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "experiment id (fig2..fig17, thm2, ablation) or 'all'")
+	fig := flag.String("fig", "all", "experiment id (fig2..fig17, thm2, ablation, scale) or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale for a fast pass")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.StringVar(&telemetryDir, "telemetry", "", "emit telemetry counters and series for every run into tagged subdirectories of this directory")
 	serveAddr := flag.String("serve", "", "serve the live telemetry endpoint on this address (e.g. :8080) while sweeps run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			check(err)
+			defer f.Close()
+			runtime.GC() // drop dead objects so the profile shows what's retained
+			check(pprof.WriteHeapProfile(f))
+		}()
+	}
 
 	if *serveAddr != "" {
 		hub = conga.NewTelemetryHub()

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -57,8 +59,30 @@ func main() {
 		traceStop     = flag.Int("trace-stop-after", 0, "record this many further events after the trigger before freezing")
 		serveAddr     = flag.String("serve", "", "serve the live telemetry endpoint on this address (e.g. :8080) while the run executes")
 		linger        = flag.Duration("linger", 0, "keep the -serve endpoint up this long after the run finishes")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		die(err)
+		die(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			die(err)
+			defer f.Close()
+			runtime.GC() // drop dead objects so the profile shows what's retained
+			die(pprof.WriteHeapProfile(f))
+		}()
+	}
 
 	sch, err := parseScheme(*scheme)
 	die(err)

@@ -253,25 +253,36 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		stride = uint64(cfg.Transport.Subflows)
 	}
 
+	// Per-engine object pools: flows, endpoints and MPTCP connections
+	// recycle for the whole run, so the steady state of the workload loop
+	// allocates nothing. The completion callbacks are created once per run
+	// (not per flow) and recompute the per-flow optimal FCT from f.Size —
+	// OptimalFCT is pure, so moving it from start to completion changes no
+	// simulation event.
+	pool := tcp.NewFlowPool()
+	mpool := mptcp.NewPool()
+	tcpDone := func(f *tcp.Flow, now sim.Time) {
+		opt := sim.Duration(OptimalFCT(cfg.Topology, cfg.Transport, f.Size))
+		rec.Record(f.Size, f.FCT(now), opt)
+		st := f.Sender.Stats()
+		retx += st.RetxSegments
+		timeouts += st.Timeouts
+	}
+	mptcpDone := func(f *mptcp.Flow, now sim.Time) {
+		opt := sim.Duration(OptimalFCT(cfg.Topology, cfg.Transport, f.Size))
+		rec.Record(f.Size, f.FCT(now), opt)
+		for _, s := range f.Conn.Subflows() {
+			st := s.Stats()
+			retx += st.RetxSegments
+			timeouts += st.Timeouts
+		}
+	}
 	starter := func(src, dst *fabric.Host, id uint64, size int64) {
-		opt := sim.Duration(OptimalFCT(cfg.Topology, cfg.Transport, size))
 		switch transport {
 		case TransportMPTCP:
-			mptcp.StartFlow(eng, src, dst, id, size, mpCfg, func(f *mptcp.Flow, now sim.Time) {
-				rec.Record(size, f.FCT(now), opt)
-				for _, s := range f.Conn.Subflows() {
-					st := s.Stats()
-					retx += st.RetxSegments
-					timeouts += st.Timeouts
-				}
-			})
+			mpool.StartFlow(eng, src, dst, id, size, mpCfg, mptcpDone)
 		default:
-			tcp.StartFlow(eng, src, dst, id, size, tcpCfg, func(f *tcp.Flow, now sim.Time) {
-				rec.Record(size, f.FCT(now), opt)
-				st := f.Sender.Stats()
-				retx += st.RetxSegments
-				timeouts += st.Timeouts
-			})
+			pool.StartFlow(eng, src, dst, id, size, tcpCfg, tcpDone)
 		}
 	}
 

@@ -127,6 +127,11 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 	if cfg.SampleCap > 0 {
 		bg.Reservoir(cfg.SampleCap, cfg.Seed+401)
 	}
+	// Per-engine pools, shared by the background workload and the HDFS
+	// replication pipeline below so every flow on this engine recycles
+	// through the same free lists.
+	pool := tcp.NewFlowPool()
+	mpool := mptcp.NewPool()
 	var gen *workload.Generator
 	if cfg.BackgroundLoad > 0 {
 		record := func(fct sim.Time) {
@@ -135,15 +140,13 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 				bg.Add(fct.Seconds())
 			}
 		}
+		tcpDone := func(f *tcp.Flow, now sim.Time) { record(f.FCT(now)) }
+		mptcpDone := func(f *mptcp.Flow, now sim.Time) { record(f.FCT(now)) }
 		starter := func(src, dst *fabric.Host, id uint64, size int64) {
 			if transport == TransportMPTCP {
-				mptcp.StartFlow(eng, src, dst, id, size, mpCfg, func(f *mptcp.Flow, now sim.Time) {
-					record(f.FCT(now))
-				})
+				mpool.StartFlow(eng, src, dst, id, size, mpCfg, mptcpDone)
 			} else {
-				tcp.StartFlow(eng, src, dst, id, size, tcpCfg, func(f *tcp.Flow, now sim.Time) {
-					record(f.FCT(now))
-				})
+				pool.StartFlow(eng, src, dst, id, size, tcpCfg, tcpDone)
 			}
 		}
 		gen, err = workload.NewGenerator(eng, net, workload.GenConfig{
@@ -169,6 +172,7 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 		BlockBytes:     cfg.BlockBytes,
 		DiskBps:        cfg.DiskMBps * 8e6,
 		TCP:            jobTCP,
+		Pool:           pool,
 		Seed:           cfg.Seed,
 	}, func(r *hdfs.Result, now sim.Time) {
 		// Stop promptly once the job completes; lingering background

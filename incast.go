@@ -118,7 +118,10 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 
 	// Persistent connections: one sender per server, created up front, so
 	// RTT estimators are warm when the synchronized burst hits — matching
-	// the benchmark applications the paper cites.
+	// the benchmark applications the paper cites. They live for the whole
+	// run, so the per-engine pool only uniformizes construction here; the
+	// rounds themselves allocate nothing.
+	pool := tcp.NewFlowPool()
 	type server struct {
 		tcpSend *tcp.Sender
 		mpConn  *mptcp.Connection
@@ -160,8 +163,8 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 			servers[i].mpConn = conn
 		default:
 			port := client.AllocPort()
-			tcp.NewReceiver(client, port)
-			s := tcp.NewSender(eng, srcHost, uint64(1000+i*16), client.ID, port, tcpCfg)
+			pool.NewReceiver(client, port)
+			s := pool.NewSender(eng, srcHost, uint64(1000+i*16), client.ID, port, tcpCfg)
 			s.OnAllAcked = onServerDone
 			servers[i].tcpSend = s
 		}

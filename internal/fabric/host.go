@@ -16,7 +16,7 @@ type Host struct {
 
 	out       *Link // host → leaf
 	pool      *PacketPool
-	recv      map[int]Receiver
+	recv      portTable
 	nextPort  int
 	RxPackets uint64
 	RxBytes   uint64
@@ -29,8 +29,17 @@ type Host struct {
 	traceName string
 }
 
+// The dynamic local-port range AllocPort draws from. minPort matches the
+// traditional ephemeral-range start; maxPort bounds the space so the
+// sequence wraps instead of growing without limit at large-fabric flow
+// counts (ports must also stay well inside the table's int32 keys).
+const (
+	minPort = 10000
+	maxPort = 1<<26 - 1
+)
+
 func newHost(id, leaf int, pool *PacketPool) *Host {
-	return &Host{ID: id, Leaf: leaf, pool: pool, recv: make(map[int]Receiver), nextPort: 10000}
+	return &Host{ID: id, Leaf: leaf, pool: pool, nextPort: minPort}
 }
 
 // NewPacket returns a zeroed packet from the fabric's pool. The packet is
@@ -39,26 +48,42 @@ func newHost(id, leaf int, pool *PacketPool) *Host {
 func (h *Host) NewPacket() *Packet { return h.pool.Get() }
 
 // Bind registers r to receive packets addressed to port. It panics if the
-// port is taken — two endpoints on one port is always a harness bug.
+// port is taken — two endpoints on one port is always a harness bug — or
+// out of range (the demux table reserves 0 as its empty sentinel).
 func (h *Host) Bind(port int, r Receiver) {
-	if _, ok := h.recv[port]; ok {
+	if port <= 0 || port > 0x7FFFFFFF {
+		panic(fmt.Sprintf("fabric: host %d Bind(%d): port out of range", h.ID, port))
+	}
+	if !h.recv.insert(port, r) {
 		panic(fmt.Sprintf("fabric: host %d port %d already bound", h.ID, port))
 	}
-	h.recv[port] = r
 }
 
 // Unbind releases a port.
-func (h *Host) Unbind(port int) { delete(h.recv, port) }
+func (h *Host) Unbind(port int) { h.recv.delete(port) }
 
-// AllocPort returns a fresh unused local port.
-func (h *Host) AllocPort() int {
-	for {
+// AllocPort returns a fresh unused local port from [minPort, maxPort],
+// wrapping around when the space is exhausted and skipping ports still
+// bound to live receivers. It panics only if every port in the range is
+// live — at which point the simulation has >67M concurrent endpoints on
+// one host and something else is already wrong.
+func (h *Host) AllocPort() int { return h.allocPortIn(minPort, maxPort) }
+
+// allocPortIn is AllocPort over an explicit range (tests shrink it to
+// exercise wraparound and exhaustion without 2²⁶ iterations).
+func (h *Host) allocPortIn(lo, hi int) int {
+	for span := hi - lo + 1; span > 0; span-- {
 		p := h.nextPort
-		h.nextPort++
-		if _, taken := h.recv[p]; !taken {
+		if p < lo || p > hi {
+			p = lo // wrap: previous allocation used hi (or the range moved)
+		}
+		h.nextPort = p + 1
+		if !h.recv.has(p) {
 			return p
 		}
 	}
+	panic(fmt.Sprintf("fabric: host %d port space [%d, %d] exhausted (%d live receivers)",
+		h.ID, lo, hi, h.recv.len()))
 }
 
 // Send transmits p on the host's access link. The caller must have filled
@@ -98,7 +123,7 @@ func (h *Host) handle(p *Packet, _ *Link, now sim.Time) {
 		h.trace.Record(now, telemetry.TraceRecv, h.traceName, p.FlowID,
 			p.SrcHost, p.DstHost, p.SrcPort, p.DstPort, p.Seq, p.Payload)
 	}
-	if r, ok := h.recv[p.DstPort]; ok {
+	if r, ok := h.recv.get(p.DstPort); ok {
 		r.Receive(p, now)
 	}
 	h.pool.Put(p)

@@ -1,0 +1,138 @@
+package fabric
+
+import (
+	"testing"
+
+	"conga/internal/sim"
+)
+
+// nopReceiver is a minimal Receiver for demux-table tests.
+type nopReceiver struct{ id int }
+
+func (*nopReceiver) Receive(*Packet, sim.Time) {}
+
+// TestPortTableOps exercises the open-addressed demux table against a map
+// reference across a mixed insert/lookup/delete sequence that forces
+// several growths.
+func TestPortTableOps(t *testing.T) {
+	var pt portTable
+	ref := map[int]*nopReceiver{}
+	rng := sim.NewRand(7)
+	for i := 0; i < 5000; i++ {
+		port := 1 + rng.Intn(800) // small space: plenty of collisions and reuse
+		switch {
+		case rng.Intn(3) == 0:
+			delete(ref, port)
+			pt.delete(port)
+		default:
+			if _, ok := ref[port]; !ok {
+				r := &nopReceiver{id: i}
+				ref[port] = r
+				if !pt.insert(port, r) {
+					t.Fatalf("insert(%d) refused a free port", port)
+				}
+			} else if pt.insert(port, &nopReceiver{}) {
+				t.Fatalf("insert(%d) accepted a taken port", port)
+			}
+		}
+	}
+	if pt.len() != len(ref) {
+		t.Fatalf("table has %d entries, reference has %d", pt.len(), len(ref))
+	}
+	for port := 1; port <= 800; port++ {
+		got, ok := pt.get(port)
+		want, wok := ref[port]
+		if ok != wok || (ok && got.(*nopReceiver) != want) {
+			t.Fatalf("port %d: table (%v, %v) disagrees with reference (%v, %v)", port, got, ok, want, wok)
+		}
+	}
+}
+
+// TestPortTableCollisionDelete forces same-slot collisions and checks the
+// backward-shift deletion keeps the probe chain intact — the classic
+// open-addressing bug is deleting mid-chain and stranding later keys.
+func TestPortTableCollisionDelete(t *testing.T) {
+	var pt portTable
+	pt.init(minPortTableSize)
+	target := pt.slotFor(1)
+	chain := []int{1}
+	for p := 2; len(chain) < 4 && p < 1<<22; p++ {
+		if pt.slotFor(int32(p)) == target {
+			chain = append(chain, p)
+		}
+	}
+	if len(chain) < 4 {
+		t.Skip("could not find 4 colliding ports (hash changed?)")
+	}
+	recvs := make([]*nopReceiver, len(chain))
+	for i, p := range chain {
+		recvs[i] = &nopReceiver{id: i}
+		pt.insert(p, recvs[i])
+	}
+	pt.delete(chain[1]) // mid-chain removal
+	for i, p := range chain {
+		if i == 1 {
+			if pt.has(p) {
+				t.Fatalf("deleted port %d still present", p)
+			}
+			continue
+		}
+		got, ok := pt.get(p)
+		if !ok || got.(*nopReceiver) != recvs[i] {
+			t.Fatalf("port %d lost after mid-chain delete (probe chain broken)", p)
+		}
+	}
+}
+
+// TestAllocPortSkipsLiveReceiver: the wraparound path must never hand out
+// a port that still has a bound receiver.
+func TestAllocPortSkipsLiveReceiver(t *testing.T) {
+	h := newHost(0, 0, nil)
+	h.Bind(101, &nopReceiver{})
+	var got []int
+	for i := 0; i < 7; i++ {
+		got = append(got, h.allocPortIn(100, 105))
+	}
+	// nextPort starts at minPort, outside [100,105], so the first call
+	// wraps to 100; 101 stays bound and must be skipped on every lap.
+	want := []int{100, 102, 103, 104, 105, 100, 102}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("allocation sequence %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAllocPortExhaustionPanics: when every port in the range is live the
+// allocator must fail loudly instead of spinning or double-allocating.
+func TestAllocPortExhaustionPanics(t *testing.T) {
+	h := newHost(0, 0, nil)
+	for p := 200; p <= 203; p++ {
+		h.Bind(p, &nopReceiver{})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted port range did not panic")
+		}
+	}()
+	h.allocPortIn(200, 203)
+}
+
+// TestBindPanics: port 0 is the table's empty sentinel and duplicate binds
+// are harness bugs; both must panic.
+func TestBindPanics(t *testing.T) {
+	for name, bind := range map[string]func(h *Host){
+		"zero port":      func(h *Host) { h.Bind(0, &nopReceiver{}) },
+		"negative port":  func(h *Host) { h.Bind(-5, &nopReceiver{}) },
+		"duplicate port": func(h *Host) { h.Bind(80, &nopReceiver{}); h.Bind(80, &nopReceiver{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Bind did not panic", name)
+				}
+			}()
+			bind(newHost(0, 0, nil))
+		}()
+	}
+}

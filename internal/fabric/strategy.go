@@ -103,12 +103,30 @@ func (s *ecmpStrategy) Tick(sim.Time)                          {}
 
 // hashOverUp deterministically maps hash onto the set of currently-up
 // links, mirroring an ECMP group whose members are withdrawn on failure.
+// It is hashOverMask inlined over the links directly: this runs once per
+// packet per spine hop, so materializing a mask slice here would put an
+// allocation on the packet hot path.
 func hashOverUp(links []*Link, hash uint64) int {
-	mask := make([]bool, len(links))
-	for i, l := range links {
-		mask[i] = l.Up()
+	n := 0
+	for _, l := range links {
+		if l.Up() {
+			n++
+		}
 	}
-	return hashOverMask(mask, hash)
+	if n == 0 {
+		return -1
+	}
+	k := int(hash % uint64(n))
+	for i, l := range links {
+		if !l.Up() {
+			continue
+		}
+		if k == 0 {
+			return i
+		}
+		k--
+	}
+	return -1
 }
 
 // hashOverMask maps hash onto the set of usable members.

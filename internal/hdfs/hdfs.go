@@ -34,6 +34,9 @@ type Config struct {
 	DiskBps float64
 	// TCP configures the replication transfers.
 	TCP tcp.Config
+	// Pool, when non-nil, recycles the replication flows' objects; the
+	// caller shares its per-engine tcp.FlowPool.
+	Pool *tcp.FlowPool
 	// Seed drives replica placement.
 	Seed uint64
 }
@@ -131,8 +134,11 @@ func Run(eng *sim.Engine, net *fabric.Network, cfg Config, done func(*Result, si
 			id1 := flowID
 			flowID += 2
 			res.ReplicaBytes += 2 * block
-			tcp.StartFlow(eng, writerHost, dn2, id1, block, cfg.TCP, func(_ *tcp.Flow, t1 sim.Time) {
-				tcp.StartFlow(eng, dn2, dn3, id1+1, block, cfg.TCP, func(_ *tcp.Flow, t2 sim.Time) {
+			// Pipeline stages draw from the shared pool; the outer flow's
+			// objects are released only after its callback returns, so the
+			// inner StartFlow can never reacquire them mid-frame.
+			cfg.Pool.StartFlow(eng, writerHost, dn2, id1, block, cfg.TCP, func(_ *tcp.Flow, t1 sim.Time) {
+				cfg.Pool.StartFlow(eng, dn2, dn3, id1+1, block, cfg.TCP, func(_ *tcp.Flow, t2 sim.Time) {
 					netDone = true
 					maybeNext(t2)
 				})

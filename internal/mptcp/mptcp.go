@@ -65,6 +65,7 @@ type Connection struct {
 
 	Started sim.Time
 	closed  bool
+	inPool  bool // currently parked on a Pool free list
 }
 
 // Dial creates an MPTCP connection from src to dst. flowIDBase seeds the
@@ -79,11 +80,37 @@ func Dial(eng *sim.Engine, src, dst *fabric.Host, flowIDBase uint64, cfg Config)
 		c.receivers = append(c.receivers, tcp.NewReceiver(dst, port))
 		s := tcp.NewSender(eng, src, flowIDBase+uint64(i), dst.ID, port, cfg.TCP)
 		idx := i
+		// These closures capture only (c, idx), both of which survive pool
+		// recycling unchanged, so they are bound once per Connection object
+		// for its whole pooled lifetime.
 		s.CAIncrease = func(acked int) { c.liaIncrease(idx, acked) }
 		s.OnAcked = func(bytes int64, now sim.Time) { c.onSubflowAcked(idx, bytes, now) }
 		c.senders = append(c.senders, s)
 	}
 	return c
+}
+
+// rebind resets a closed, recycled connection onto a new transfer: every
+// subflow endpoint is re-addressed and protocol-reset through the tcp
+// Rebind path (which preserves the LIA/scheduler callbacks bound at
+// construction), and the scheduler state is zeroed. Port allocation order
+// matches Dial exactly: per subflow, the destination port first, then the
+// sender's source port.
+func (c *Connection) rebind(eng *sim.Engine, src, dst *fabric.Host, flowIDBase uint64, cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c.eng = eng
+	c.cfg = cfg
+	c.total, c.claimed, c.ackedSubs = 0, 0, 0
+	c.OnComplete = nil
+	c.Started = eng.Now()
+	c.closed = false
+	for i, s := range c.senders {
+		port := dst.AllocPort()
+		c.receivers[i].Rebind(dst, port)
+		s.Rebind(eng, src, flowIDBase+uint64(i), dst.ID, port, cfg.TCP)
+	}
 }
 
 // Close tears down all subflows.
@@ -193,24 +220,130 @@ type Flow struct {
 	Conn    *Connection
 	Size    int64
 	Started sim.Time
+
+	pool         *Pool
+	onDone       func(f *Flow, now sim.Time)
+	onCompleteFn func(now sim.Time) // finish, bound once per Flow object
+	inPool       bool
 }
 
 // StartFlow begins an MPTCP transfer of size bytes from src to dst.
 func StartFlow(eng *sim.Engine, src, dst *fabric.Host, flowIDBase uint64, size int64,
 	cfg Config, onDone func(f *Flow, now sim.Time)) *Flow {
-	if size <= 0 {
-		size = 1
+	return (*Pool)(nil).StartFlow(eng, src, dst, flowIDBase, size, cfg, onDone)
+}
+
+// finish is the connection's OnComplete: tear the subflows down (ports
+// recycle first, as in tcp.Flow), run the caller's callback, then return
+// the flow and connection to the pool.
+func (f *Flow) finish(now sim.Time) {
+	f.Conn.Close()
+	if f.onDone != nil {
+		f.onDone(f, now)
 	}
-	f := &Flow{Conn: Dial(eng, src, dst, flowIDBase, cfg), Size: size, Started: eng.Now()}
-	f.Conn.OnComplete = func(now sim.Time) {
-		f.Conn.Close()
-		if onDone != nil {
-			onDone(f, now)
-		}
+	if f.pool != nil {
+		f.pool.putFlow(f)
 	}
-	f.Conn.Transfer(size, eng.Now())
-	return f
 }
 
 // FCT returns the flow completion time given the completion timestamp.
 func (f *Flow) FCT(done sim.Time) sim.Time { return done - f.Started }
+
+// Pool recycles Connections (with their subflow senders and receivers
+// attached) and Flows within one engine, the MPTCP counterpart of
+// tcp.FlowPool. A connection's per-subflow LIA and scheduler closures are
+// bound once at construction and survive recycling — the whole point of
+// keeping endpoints attached to their connection — while the tcp Rebind
+// path fully resets per-transfer protocol state. A nil *Pool is valid
+// everywhere and falls back to fresh allocation.
+type Pool struct {
+	conns []*Connection
+	flows []*Flow
+
+	// Allocs counts pool misses; Recycled counts connections reused.
+	ConnAllocs   uint64
+	ConnRecycled uint64
+}
+
+// NewPool returns an empty pool for one engine.
+func NewPool() *Pool { return &Pool{} }
+
+// Dial is mptcp.Dial drawing from the pool; a nil pool allocates fresh. A
+// recycled connection whose subflow count no longer matches cfg is
+// discarded (the configuration changed mid-run, which real harnesses
+// never do).
+func (p *Pool) Dial(eng *sim.Engine, src, dst *fabric.Host, flowIDBase uint64, cfg Config) *Connection {
+	if p != nil {
+		for n := len(p.conns); n > 0; n = len(p.conns) {
+			c := p.conns[n-1]
+			p.conns[n-1] = nil
+			p.conns = p.conns[:n-1]
+			c.inPool = false
+			if len(c.senders) != cfg.Subflows {
+				continue
+			}
+			p.ConnRecycled++
+			c.rebind(eng, src, dst, flowIDBase, cfg)
+			return c
+		}
+		p.ConnAllocs++
+	}
+	return Dial(eng, src, dst, flowIDBase, cfg)
+}
+
+// PutConn releases a closed connection to the pool. Connections that are
+// still open, already pooled, or given to a nil pool are left alone.
+func (p *Pool) PutConn(c *Connection) {
+	if p == nil || c == nil || !c.closed || c.inPool {
+		return
+	}
+	c.OnComplete = nil
+	c.inPool = true
+	p.conns = append(p.conns, c)
+}
+
+// StartFlow is mptcp.StartFlow drawing the Flow and its Connection from
+// the pool (nil pool = fresh allocation). When pooled, the flow returns to
+// the pool right after onDone, so the callback must not retain the *Flow
+// or its connection.
+func (p *Pool) StartFlow(eng *sim.Engine, src, dst *fabric.Host, flowIDBase uint64, size int64,
+	cfg Config, onDone func(f *Flow, now sim.Time)) *Flow {
+	if size <= 0 {
+		size = 1
+	}
+	f := p.getFlow()
+	f.pool = p
+	f.onDone = onDone
+	f.Conn = p.Dial(eng, src, dst, flowIDBase, cfg)
+	f.Size = size
+	f.Started = eng.Now()
+	f.Conn.OnComplete = f.onCompleteFn
+	f.Conn.Transfer(size, eng.Now())
+	return f
+}
+
+func (p *Pool) getFlow() *Flow {
+	if p != nil {
+		if n := len(p.flows); n > 0 {
+			f := p.flows[n-1]
+			p.flows[n-1] = nil
+			p.flows = p.flows[:n-1]
+			f.inPool = false
+			return f
+		}
+	}
+	f := &Flow{}
+	f.onCompleteFn = f.finish
+	return f
+}
+
+func (p *Pool) putFlow(f *Flow) {
+	if p == nil || f == nil || f.inPool {
+		return
+	}
+	p.PutConn(f.Conn)
+	f.Conn = nil
+	f.onDone = nil
+	f.inPool = true
+	p.flows = append(p.flows, f)
+}

@@ -7,12 +7,21 @@ import (
 
 // Flow is a one-shot transfer: size bytes from one host to another over a
 // fresh connection, reporting its completion time. Workload generators
-// create one Flow per arrival.
+// create one Flow per arrival — or recycle one through a FlowPool.
 type Flow struct {
 	Sender   *Sender
 	Receiver *Receiver
 	Size     int64
 	Started  sim.Time
+
+	// pool, when non-nil, receives the flow and its endpoints back after
+	// completion; onDone is the caller's completion callback. onAllAckedFn
+	// is finish bound once per Flow object, so wiring a sender's
+	// completion hook allocates nothing on reuse.
+	pool         *FlowPool
+	onDone       func(f *Flow, now sim.Time)
+	onAllAckedFn func(now sim.Time)
+	inPool       bool
 }
 
 // StartFlow begins transferring size bytes from src to dst immediately.
@@ -21,26 +30,44 @@ type Flow struct {
 // callback panics the experiment.
 func StartFlow(eng *sim.Engine, src, dst *fabric.Host, flowID uint64, size int64,
 	cfg Config, onDone func(f *Flow, now sim.Time)) *Flow {
+	return (*FlowPool)(nil).StartFlow(eng, src, dst, flowID, size, cfg, onDone)
+}
+
+// StartFlow is tcp.StartFlow drawing the Flow and both endpoints from the
+// pool (nil pool = fresh allocation). When pooled, the flow returns to the
+// pool right after onDone, so the callback must not retain the *Flow or
+// its endpoints.
+func (p *FlowPool) StartFlow(eng *sim.Engine, src, dst *fabric.Host, flowID uint64, size int64,
+	cfg Config, onDone func(f *Flow, now sim.Time)) *Flow {
 	if size <= 0 {
 		size = 1
 	}
 	now := eng.Now()
+	f := p.getFlow()
+	f.pool = p
+	f.onDone = onDone
+	f.Size = size
+	f.Started = now
 	dstPort := dst.AllocPort()
-	f := &Flow{
-		Receiver: NewReceiver(dst, dstPort),
-		Size:     size,
-		Started:  now,
-	}
-	f.Sender = NewSender(eng, src, flowID, dst.ID, dstPort, cfg)
-	f.Sender.OnAllAcked = func(done sim.Time) {
-		f.Sender.Close()
-		f.Receiver.Close()
-		if onDone != nil {
-			onDone(f, done)
-		}
-	}
+	f.Receiver = p.NewReceiver(dst, dstPort)
+	f.Sender = p.NewSender(eng, src, flowID, dst.ID, dstPort, cfg)
+	f.Sender.OnAllAcked = f.onAllAckedFn
 	f.Sender.Queue(size, now)
 	return f
+}
+
+// finish is the flow's completion path (the sender's OnAllAcked): close
+// the endpoints first so ports recycle even if the callback panics, run
+// the caller's callback, then hand everything back to the pool.
+func (f *Flow) finish(now sim.Time) {
+	f.Sender.Close()
+	f.Receiver.Close()
+	if f.onDone != nil {
+		f.onDone(f, now)
+	}
+	if f.pool != nil {
+		f.pool.putFlow(f)
+	}
 }
 
 // FCT returns the flow completion time given the completion timestamp.

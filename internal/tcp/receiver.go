@@ -30,14 +30,37 @@ type Receiver struct {
 	DupSegments uint64
 	AcksOut     uint64
 
-	freed bool
+	freed  bool
+	inPool bool // currently parked on a FlowPool free list
 }
 
 // NewReceiver binds a receiver to (host, port).
 func NewReceiver(host *fabric.Host, port int) *Receiver {
-	r := &Receiver{host: host, port: port}
-	host.Bind(port, r)
+	r := &Receiver{}
+	r.rebind(host, port)
 	return r
+}
+
+// Rebind resets the (closed) receiver and binds it to a new (host, port).
+// The OnDelivered callback is preserved, mirroring Sender.Rebind.
+func (r *Receiver) Rebind(host *fabric.Host, port int) {
+	if r.host != nil && !r.freed {
+		panic("tcp: Rebind of a receiver that is still bound")
+	}
+	r.rebind(host, port)
+}
+
+// rebind resets all reassembly state; fresh construction and pool
+// recycling both funnel through it (the FlowPool's reset invariant).
+func (r *Receiver) rebind(host *fabric.Host, port int) {
+	r.host = host
+	r.port = port
+	r.rcvNxt = 0
+	r.ooo = spanSet{} // zero-assignment is the spanSet's full reset
+	r.SegmentsIn, r.BytesIn = 0, 0
+	r.OutOfOrder, r.DupSegments, r.AcksOut = 0, 0, 0
+	r.freed = false
+	host.Bind(port, r)
 }
 
 // Close unbinds the receiver.

@@ -145,8 +145,10 @@ type Sender struct {
 	backoff      uint
 	timer        sim.EventHandle
 	reorderTimer sim.EventHandle // deferred loss declaration (ReorderWindow)
+	reorderArmed int64           // sndUna when the reorder timer was armed
 	lastRetx     sim.Time        // Karn: suppress samples older than this
 	onTimeoutFn  sim.Event       // bound once so arming the timer allocates nothing
+	onReorderFn  sim.Event       // bound once so deferring loss allocates nothing
 
 	// CAIncrease, when set, replaces the Reno additive increase during
 	// congestion avoidance. It receives the freshly acknowledged byte
@@ -165,8 +167,9 @@ type Sender struct {
 	tel *telemetry.TCPCounters
 	// trace is the engine-wide packet trace; its nil-safe TriggerRTO fires
 	// the flight-recorder stop on the first timeout when armed.
-	trace *telemetry.PacketTrace
-	freed bool
+	trace  *telemetry.PacketTrace
+	freed  bool
+	inPool bool // currently parked on a FlowPool free list
 }
 
 // NewSender creates a sender on host addressed at (dstHost, dstPort) and
@@ -176,24 +179,65 @@ func NewSender(eng *sim.Engine, host *fabric.Host, flowID uint64, dstHost, dstPo
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	s := &Sender{
-		eng:      eng,
-		host:     host,
-		cfg:      cfg,
-		flowID:   flowID,
-		srcPort:  host.AllocPort(),
-		dstHost:  dstHost,
-		dstPort:  dstPort,
-		cwnd:     float64(cfg.InitCwnd * cfg.MSS),
-		ssthresh: float64(cfg.MaxCwnd),
-		rto:      cfg.InitRTO,
-		lastRetx: -1,
-	}
+	s := &Sender{}
 	s.onTimeoutFn = s.onTimeout
+	s.onReorderFn = s.onReorderExpire
+	s.rebind(eng, host, flowID, dstHost, dstPort, cfg)
+	return s
+}
+
+// Rebind resets every piece of per-connection protocol state and attaches
+// the (closed) sender to a new connection, allocating a fresh local port.
+// Unlike FlowPool recycling, the owner-set callbacks (CAIncrease, OnAcked,
+// OnAllAcked) are preserved: internal/mptcp reuses pooled connections
+// whose subflow callbacks are bound once at construction.
+func (s *Sender) Rebind(eng *sim.Engine, host *fabric.Host, flowID uint64, dstHost, dstPort int, cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if s.host != nil && !s.freed {
+		panic("tcp: Rebind of a sender that is still open")
+	}
+	s.rebind(eng, host, flowID, dstHost, dstPort, cfg)
+}
+
+// rebind is the single place a sender's mutable state is initialized; both
+// fresh construction and pool recycling funnel through it, so a recycled
+// sender is indistinguishable from a new one (the FlowPool's reset
+// invariant). It deliberately leaves the bound-once callbacks
+// (onTimeoutFn, onReorderFn) and the caller-owned callback fields alone.
+func (s *Sender) rebind(eng *sim.Engine, host *fabric.Host, flowID uint64, dstHost, dstPort int, cfg Config) {
+	s.eng = eng
+	s.host = host
+	s.cfg = cfg
+	s.flowID = flowID
+	s.srcPort = host.AllocPort()
+	s.dstHost = dstHost
+	s.dstPort = dstPort
+	s.sndUna, s.sndNxt, s.avail = 0, 0, 0
+	s.cwnd = float64(cfg.InitCwnd * cfg.MSS)
+	s.ssthresh = float64(cfg.MaxCwnd)
+	s.state = stateOpen
+	s.recover = 0
+	s.dupAcks = 0
+	// Zero-assignment is the spanSet's documented full reset: insert
+	// re-anchors spans onto the inline array lazily.
+	s.sacked = spanSet{}
+	s.retxMark, s.retxPipe = 0, 0
+	s.srtt, s.rttvar = 0, 0
+	s.rto = cfg.InitRTO
+	s.backoff = 0
+	s.timer = sim.EventHandle{}
+	s.reorderTimer = sim.EventHandle{}
+	s.reorderArmed = 0
+	s.lastRetx = -1
+	s.stats = Stats{}
+	// Telemetry hooks are per-host (per-engine): refetch, since a recycled
+	// sender may land on a different host than its previous life.
 	s.tel = host.TCPCounters()
 	s.trace = host.PacketTrace()
+	s.freed = false
 	host.Bind(s.srcPort, s)
-	return s
 }
 
 // Close unbinds the sender's ACK port and cancels its timer. Further use is
@@ -640,19 +684,24 @@ func (s *Sender) onDupAck(now sim.Time) {
 			if s.tel != nil {
 				s.tel.ReorderDefers++
 			}
-			armedAt := s.sndUna
-			s.reorderTimer = s.eng.After(s.cfg.ReorderWindow, func(now sim.Time) {
-				if s.freed || s.state == stateRecovery {
-					return
-				}
-				if s.sndUna == armedAt && s.Outstanding() > 0 {
-					s.enterRecovery(now)
-				}
-			})
+			s.reorderArmed = s.sndUna
+			s.reorderTimer = s.eng.After(s.cfg.ReorderWindow, s.onReorderFn)
 		}
 		return
 	}
 	s.enterRecovery(now)
+}
+
+// onReorderExpire is the reorder timer body (bound once as onReorderFn):
+// the deferred loss declaration fires only if the cumulative ACK has not
+// moved since the timer was armed.
+func (s *Sender) onReorderExpire(now sim.Time) {
+	if s.freed || s.state == stateRecovery {
+		return
+	}
+	if s.sndUna == s.reorderArmed && s.Outstanding() > 0 {
+		s.enterRecovery(now)
+	}
 }
 
 // enterRecovery starts SACK-based fast recovery (RFC 6675 style).

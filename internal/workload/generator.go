@@ -48,9 +48,10 @@ type Generator struct {
 	cfg GenConfig
 	rng *sim.Rand
 
-	start   Starter
-	nextID  uint64
-	created int
+	start    Starter
+	arriveFn sim.Event // bound once so each arrival schedules allocation-free
+	nextID   uint64
+	created  int
 
 	// Generated counts flows started; OfferedBytes sums their sizes.
 	Generated    int
@@ -74,14 +75,16 @@ func NewGenerator(eng *sim.Engine, net *fabric.Network, cfg GenConfig, start Sta
 	if net.NumLeaves() < 2 {
 		return nil, fmt.Errorf("workload: need ≥ 2 leaves")
 	}
-	return &Generator{
+	g := &Generator{
 		eng:    eng,
 		net:    net,
 		cfg:    cfg,
 		rng:    sim.NewRand(cfg.Seed + 0x9e37),
 		start:  start,
 		nextID: cfg.FlowIDBase,
-	}, nil
+	}
+	g.arriveFn = g.arrive
+	return g, nil
 }
 
 // BisectionBps returns the nominal per-direction uplink capacity of one
@@ -129,10 +132,14 @@ func (g *Generator) scheduleNext(now sim.Time) {
 	if next > g.cfg.Duration {
 		return
 	}
-	g.eng.At(next, func(t sim.Time) {
-		g.launch(t)
-		g.scheduleNext(t)
-	})
+	g.eng.At(next, g.arriveFn)
+}
+
+// arrive is the per-arrival event body (bound once as arriveFn): launch
+// the flow, then schedule the next arrival.
+func (g *Generator) arrive(t sim.Time) {
+	g.launch(t)
+	g.scheduleNext(t)
 }
 
 func (g *Generator) launch(now sim.Time) {

@@ -20,7 +20,7 @@
 // Usage:
 //
 //	make bench-quick | tee bench-quick.txt
-//	go run ./tools/benchguard -baseline BENCH_PR2.json bench-quick.txt
+//	go run ./tools/benchguard -baseline BENCH_PR6.json bench-quick.txt
 //
 // The baseline schema is the one BENCH_PR2.json uses:
 // {"benchmarks": {"<name>": {"after": {"ns_op": N, "events_op": N, "allocs_op": N}}}}.
@@ -63,10 +63,10 @@ type measured map[string]float64
 
 func main() {
 	var (
-		baselinePath    = flag.String("baseline", "BENCH_PR2.json", "baseline JSON file")
+		baselinePath    = flag.String("baseline", "BENCH_PR6.json", "baseline JSON file")
 		maxRegress      = flag.Float64("max-regress", 0.15, "allowed fractional ns/op regression over baseline")
 		maxAllocRegress = flag.Float64("max-alloc-regress", 0.10, "allowed fractional allocs/op regression over baseline")
-		require         = flag.String("require", "BenchmarkEngineRaw,BenchmarkFig09Enterprise",
+		require         = flag.String("require", "BenchmarkEngineRaw,BenchmarkFig09Enterprise,BenchmarkScale64Leaves40G",
 			"comma-separated benchmarks that must be present in the output")
 		nsBenches = flag.String("ns-benches", "BenchmarkEngineRaw",
 			"comma-separated benchmarks whose ns/op is gated; others only gate events/op and allocs/op (single-iteration figure runs are too wall-clock-noisy across machines)")
