@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-engine bench-quick bench-guard check
+.PHONY: build test race vet bench bench-engine bench-quick bench-parallel bench-guard bench-guard-parallel check
 
 build:
 	$(GO) build ./...
@@ -36,12 +36,29 @@ bench-quick:
 	$(GO) test -bench 'BenchmarkFig09Enterprise$$' -benchtime 1x -run '^$$' .
 	$(GO) test -bench 'BenchmarkScale64Leaves40G$$' -benchtime 1x -run '^$$' .
 
+# Space-parallel scale benchmarks: the largest 40G cell sequential and at
+# 2/4/8 domains. ns/op ratios are the PR 7 speedup claim; events/op is
+# deterministic per worker count.
+bench-parallel:
+	$(GO) test -bench 'BenchmarkScale256Leaves40G(Parallel[248])?$$' -benchtime 1x -run '^$$' .
+
 # Gate bench-quick output against the recorded baseline: ns/op (15%) on the
 # engine micro-bench, events/op (exact) and allocs/op (10%) on every
 # benchmark with a baseline entry (CI runs this on
 # every PR; >15% ns/op regression on the engine hot path fails the build).
 bench-guard:
 	$(MAKE) bench-quick | tee bench-quick.txt
-	$(GO) run ./tools/benchguard -baseline BENCH_PR6.json -max-regress 0.15 bench-quick.txt
+	$(GO) run ./tools/benchguard -baseline BENCH_PR7.json -max-regress 0.15 bench-quick.txt
+
+# Gate the space-parallel scale cells: events/op exact per worker count,
+# and ≥2.5× ns/op speedup at 8 workers over sequential (auto-skipped with
+# a warning on machines with fewer than 8 procs, where the events/op exact
+# gates still pin determinism).
+bench-guard-parallel:
+	$(MAKE) bench-parallel | tee bench-parallel.txt
+	$(GO) run ./tools/benchguard -baseline BENCH_PR7.json \
+		-require 'BenchmarkScale256Leaves40G,BenchmarkScale256Leaves40GParallel2,BenchmarkScale256Leaves40GParallel4,BenchmarkScale256Leaves40GParallel8' \
+		-speedup 'BenchmarkScale256Leaves40GParallel8:BenchmarkScale256Leaves40G:2.5' \
+		bench-parallel.txt
 
 check: build vet test race

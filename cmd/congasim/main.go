@@ -48,6 +48,7 @@ func main() {
 		mtu       = flag.Int("mtu", 1500, "MTU in bytes")
 		imbalance = flag.Bool("imbalance", false, "collect Figure-12 imbalance stats")
 		queues    = flag.Bool("queues", false, "collect queue occupancy stats")
+		parallel  = flag.Int("parallel", 1, "space-parallel domains for fct mode (>1 partitions the fabric across that many worker goroutines)")
 
 		fanout = flag.Int("fanout", 16, "incast fan-in (incast mode)")
 		reqMB  = flag.Int("reqmb", 10, "incast request size in MB")
@@ -139,7 +140,7 @@ func main() {
 			Topology: topo, Scheme: sch, Workload: w, Load: *load,
 			Transport: tc, Duration: *duration, MaxFlows: *maxFlows, Seed: *seed,
 			CollectImbalance: *imbalance, CollectQueues: *queues,
-			Telemetry: tel,
+			Telemetry: tel, Parallel: *parallel,
 		})
 		die(err)
 		printFCT(res)

@@ -97,6 +97,22 @@ type FCTConfig struct {
 	SampleCap int
 
 	WCMPWeights []float64
+
+	// Parallel, when > 1, runs this single experiment space-parallel: the
+	// fabric is partitioned into Parallel domains (one engine and worker
+	// goroutine each; see internal/fabric/partition.go) executed in bounded
+	// time windows by sim.ParallelEngine. Results are deterministic for a
+	// fixed Parallel value, and Parallel <= 1 keeps the exact sequential
+	// code path. Parallel mode rejects the options that need a single
+	// engine: CollectImbalance, CollectQueues, SampleCap, and telemetry
+	// traces/taps.
+	Parallel int
+
+	// testFlowHook, when set, observes every completed flow as
+	// (domain, flowID, fct) from that domain's goroutine; parallel-mode
+	// determinism tests use it to capture per-flow FCT vectors. The hook
+	// must be safe for concurrent calls from different domains.
+	testFlowHook func(domain int, flowID uint64, fct sim.Time)
 }
 
 func (c FCTConfig) withDefaults() FCTConfig {
@@ -207,9 +223,14 @@ func OptimalFCT(t Topology, transport TransportConfig, size int64) time.Duration
 	return time.Duration((transmit + 2*prop + ack) * 1e9)
 }
 
-// RunFCT executes one FCT experiment.
+// RunFCT executes one FCT experiment. With cfg.Parallel > 1 the run is
+// space-parallel across domain engines (see parallel_fct.go); otherwise it
+// executes on the single sequential engine below.
 func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Parallel > 1 {
+		return runFCTParallel(cfg)
+	}
 	fabScheme, transport, err := schemeForFabric(cfg.Scheme, cfg.Transport.Kind)
 	if err != nil {
 		return nil, err

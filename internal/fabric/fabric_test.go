@@ -420,14 +420,14 @@ func TestDREDirtyListDrainsAndReactivates(t *testing.T) {
 	dst.Bind(5000, &testSink{})
 	flood(eng, n, 1, src, dst, 5000, 1000, 1e8, 0, 5*sim.Millisecond)
 	eng.Run(5 * sim.Millisecond)
-	if len(n.dreActive) == 0 {
+	if len(n.dreActive[0]) == 0 {
 		t.Fatal("no fabric links on the DRE dirty-list while carrying traffic")
 	}
 	// A long idle period must decay every register to exactly zero and
 	// empty the dirty-list (the decay ticker snaps and drops drained
 	// links).
 	eng.Run(100 * sim.Millisecond)
-	if got := len(n.dreActive); got != 0 {
+	if got := len(n.dreActive[0]); got != 0 {
 		t.Fatalf("%d links still on the dirty-list after 95 ms idle", got)
 	}
 	for _, l := range n.FabricLinks() {
@@ -438,7 +438,7 @@ func TestDREDirtyListDrainsAndReactivates(t *testing.T) {
 	// New traffic must re-register links and produce nonzero metrics again.
 	flood(eng, n, 2, src, dst, 5000, 1000, 1e8, eng.Now(), eng.Now()+5*sim.Millisecond)
 	eng.Run(eng.Now() + 2*sim.Millisecond)
-	if len(n.dreActive) == 0 {
+	if len(n.dreActive[0]) == 0 {
 		t.Fatal("dirty-list empty while traffic is flowing again")
 	}
 	any := false

@@ -22,6 +22,7 @@ type LeafSwitch struct {
 
 	strategy  Strategy
 	vni       uint32
+	pool      *PacketPool // owning domain's pool (== net.pool when sequential)
 	usableBuf []bool
 
 	// NoRouteDrops counts packets dropped because no uplink was usable.
@@ -92,7 +93,7 @@ func (ls *LeafSwitch) fromHost(p *Packet, now sim.Time) {
 	up := ls.strategy.SelectUplink(p, dstLeaf, now)
 	if up < 0 {
 		ls.NoRouteDrops++
-		ls.net.pool.Put(p)
+		ls.pool.Put(p)
 		return
 	}
 	p.SrcLeaf = ls.ID
@@ -107,7 +108,7 @@ func (ls *LeafSwitch) fromFabric(p *Packet, now sim.Time) {
 	ls.strategy.OnFabricArrival(p, p.SrcLeaf, now)
 	if p.Ctrl {
 		// Explicit feedback terminates at the TEP.
-		ls.net.pool.Put(p)
+		ls.pool.Put(p)
 		return
 	}
 	dl := ls.Downlink(p.DstHost)
@@ -116,7 +117,7 @@ func (ls *LeafSwitch) fromFabric(p *Packet, now sim.Time) {
 		// not own. Count it as a routing drop; it indicates a topology
 		// wiring bug.
 		ls.NoRouteDrops++
-		ls.net.pool.Put(p)
+		ls.pool.Put(p)
 		return
 	}
 	dl.Send(p, now)
@@ -132,7 +133,7 @@ func (ls *LeafSwitch) sendControl(dstLeaf int, hdr core.Header, now sim.Time) {
 	// The control packet is itself a fabric packet: its CE observation is
 	// valid for the uplink it rides, so tag it accordingly.
 	hdr.LBTag = uint8(up)
-	p := ls.net.pool.Get()
+	p := ls.pool.Get()
 	p.SrcLeaf = ls.ID
 	p.DstLeaf = dstLeaf
 	p.Ctrl = true

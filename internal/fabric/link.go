@@ -38,6 +38,14 @@ type Link struct {
 	txDoneFn  sim.Event
 	deliverFn sim.Event
 
+	// Space-parallel partition wiring (see partition.go): dom is the
+	// domain of the transmitting node (which owns eng, pool, queue, DRE
+	// and counters); xq, when non-nil, marks a cross-domain link whose
+	// deliveries go through a window-exchange mailbox instead of a
+	// directly scheduled event. Both are zero on sequential networks.
+	dom int
+	xq  *mailbox
+
 	dre        *core.DRE // nil on access links
 	pathMetric core.PathMetric
 	// The owning network's decay ticker only visits links with a nonzero
@@ -239,13 +247,23 @@ func (l *Link) txDone(now sim.Time) {
 		l.tel.Dequeues++
 	}
 	if l.up {
-		// Delivery events for this link all share l.deliverFn; the inflight
-		// FIFO maps each firing back to its packet. That pairing is sound
-		// because serialization keeps tx-done times strictly increasing,
-		// propagation delay is constant, and the engine breaks time ties in
-		// scheduling order.
-		l.inflight = append(l.inflight, p)
-		l.eng.At(now+l.prop, l.deliverFn)
+		if l.xq != nil {
+			// Cross-domain link: the destination's engine belongs to
+			// another worker goroutine, so the arrival is exported to the
+			// (srcDomain, dstDomain) mailbox and scheduled there during
+			// the next window exchange. The propagation delay is at least
+			// the window size, so the arrival always lands beyond the
+			// window being executed.
+			l.xq.push(p, now+l.prop, l)
+		} else {
+			// Delivery events for this link all share l.deliverFn; the inflight
+			// FIFO maps each firing back to its packet. That pairing is sound
+			// because serialization keeps tx-done times strictly increasing,
+			// propagation delay is constant, and the engine breaks time ties in
+			// scheduling order.
+			l.inflight = append(l.inflight, p)
+			l.eng.At(now+l.prop, l.deliverFn)
+		}
 	} else {
 		l.noteDrop(p, now)
 		l.pool.Put(p)

@@ -1,0 +1,241 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"conga/internal/sim"
+	"conga/internal/telemetry"
+)
+
+func partCfg(leaves, spines int) Config {
+	return Config{
+		NumLeaves: leaves, NumSpines: spines, HostsPerLeaf: 2, LinksPerSpine: 1,
+		AccessRateBps: 10e9, FabricRateBps: 40e9,
+		Scheme: SchemeCONGA,
+	}
+}
+
+func partEngines(p int) []*sim.Engine {
+	engines := make([]*sim.Engine, p)
+	for i := range engines {
+		engines[i] = sim.New()
+	}
+	return engines
+}
+
+// TestPartitionAssignment checks the ownership rules: leaf l and everything
+// below it in domain l%P, spine s in s%P, every link owned by its
+// transmitter's domain, and a mailbox on exactly the links whose two ends
+// live in different domains.
+func TestPartitionAssignment(t *testing.T) {
+	n, err := NewPartitionedNetwork(partEngines(2), partCfg(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Domains() != 2 {
+		t.Fatalf("Domains() = %d, want 2", n.Domains())
+	}
+	if n.DomainPool(0) != n.pool {
+		t.Fatal("pools[0] must alias the sequential pool field")
+	}
+	for leaf, ls := range n.Leaves {
+		want := leaf % 2
+		if got := n.LeafDomain(leaf); got != want {
+			t.Fatalf("LeafDomain(%d) = %d, want %d", leaf, got, want)
+		}
+		for i, up := range ls.uplinks {
+			if up.dom != want {
+				t.Fatalf("%s owned by domain %d, want %d (transmitter side)", up.Name, up.dom, want)
+			}
+			spineDom := ls.uplinkSpine[i] % 2
+			if cross := up.xq != nil; cross != (want != spineDom) {
+				t.Fatalf("%s: mailbox presence %v, want %v", up.Name, cross, want != spineDom)
+			}
+		}
+	}
+	for _, h := range n.Hosts {
+		want := h.Leaf % 2
+		if n.HostDomain(h.ID) != want || h.out.dom != want || h.out.xq != nil {
+			t.Fatalf("host %d: access link must be intra-domain %d", h.ID, want)
+		}
+	}
+	for s, ss := range n.Spines {
+		for leaf := range ss.down {
+			for _, down := range ss.down[leaf] {
+				if down.dom != s%2 {
+					t.Fatalf("%s owned by domain %d, want %d", down.Name, down.dom, s%2)
+				}
+				if cross := down.xq != nil; cross != (s%2 != leaf%2) {
+					t.Fatalf("%s: mailbox presence %v, want %v", down.Name, cross, s%2 != leaf%2)
+				}
+			}
+		}
+	}
+}
+
+// TestSequentialBuildHasNoPartitionMachinery checks P=1 (the NewNetwork
+// path) carries no mailboxes and marks every link intra-domain — the
+// sequential hot path must not grow a branch that does anything.
+func TestSequentialBuildHasNoPartitionMachinery(t *testing.T) {
+	n, err := NewNetwork(sim.New(), partCfg(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Domains() != 1 || n.mail != nil || n.deliv != nil {
+		t.Fatalf("sequential network grew partition state: domains=%d mail=%v", n.Domains(), n.mail)
+	}
+	for _, l := range n.fabricLinks {
+		if l.xq != nil || l.dom != 0 {
+			t.Fatalf("%s: sequential link has xq=%v dom=%d", l.Name, l.xq, l.dom)
+		}
+	}
+}
+
+// TestExchangeMergeOrder white-boxes the deterministic merge: entries from
+// several source domains with equal and unequal timestamps must be
+// scheduled in (time, srcDomain, srcSeq) order, regardless of drain order.
+func TestExchangeMergeOrder(t *testing.T) {
+	n, err := NewPartitionedNetwork(partEngines(3), partCfg(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := n.Leaves[0].uplinks[0]
+	mk := func(id uint64) *Packet {
+		p := n.DomainPool(0).Get()
+		p.FlowID = id
+		return p
+	}
+	const we = sim.Time(2000) // windowEnd
+	// Source domain 0: out-of-time-order entries (seq still per-mailbox).
+	n.mail[0][2].push(mk(1), 5000, l)
+	n.mail[0][2].push(mk(2), 3000, l)
+	// Source domain 1: a tie at 3000 with domain 0 and an earlier arrival.
+	n.mail[1][2].push(mk(3), 3000, l)
+	n.mail[1][2].push(mk(4), 3000, l)
+	n.mail[1][2].push(mk(5), 2000, l)
+
+	n.Exchange(2, we)
+
+	want := []uint64{5, 2, 3, 4, 1} // (2000,s1) (3000,s0) (3000,s1,q0) (3000,s1,q1) (5000,s0)
+	dv := n.deliv[2]
+	if len(dv.queue) != len(want) {
+		t.Fatalf("deliverer queued %d arrivals, want %d", len(dv.queue), len(want))
+	}
+	for i, w := range want {
+		if got := dv.queue[i].p.FlowID; got != w {
+			t.Fatalf("merge position %d: flow %d, want %d", i, got, w)
+		}
+	}
+	if got := n.DomainEngine(2).Live(); got != len(want) {
+		t.Fatalf("engine 2 has %d live delivery events, want %d", got, len(want))
+	}
+	for s := 0; s < 3; s++ {
+		if s != 2 && len(n.mail[s][2].entries) != 0 {
+			t.Fatalf("mailbox %d->2 not drained", s)
+		}
+	}
+}
+
+// TestExchangeLookaheadViolationPanics: an arrival inside the window being
+// exchanged is a partitioning bug and must fail loudly, not corrupt time.
+func TestExchangeLookaheadViolationPanics(t *testing.T) {
+	n, err := NewPartitionedNetwork(partEngines(2), partCfg(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.mail[0][1].push(n.DomainPool(0).Get(), 100, n.Leaves[0].uplinks[0])
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on lookahead violation")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "lookahead") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	n.Exchange(1, 2000)
+}
+
+// TestExportSurvivesLinkFailure mirrors the sequential semantics of
+// SetUp(false), which drops the queue but not packets already in flight: a
+// packet exported to a mailbox has left the transmitter, so failing the
+// link afterwards must neither drop it nor stop its delivery event from
+// being scheduled on the destination domain at the exported time.
+func TestExportSurvivesLinkFailure(t *testing.T) {
+	n, err := NewPartitionedNetwork(partEngines(2), partCfg(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// leaf0's uplink to spine1 crosses domain 0 -> 1.
+	ls := n.Leaves[0]
+	var l *Link
+	for i, up := range ls.uplinks {
+		if ls.uplinkSpine[i] == 1 {
+			l = up
+		}
+	}
+	if l == nil || l.xq == nil {
+		t.Fatal("expected a cross-domain uplink l0->s1")
+	}
+
+	p := n.DomainPool(0).Get()
+	p.Payload = 1000
+	eng0 := n.DomainEngine(0)
+	eng0.At(0, func(now sim.Time) { l.Send(p, now) })
+	window := n.Cfg.FabricPropDelay
+	eng0.Run(window - 1) // run domain 0's first window: tx completes, export happens
+
+	if len(l.xq.entries) != 1 {
+		t.Fatalf("mailbox has %d entries after tx, want 1", len(l.xq.entries))
+	}
+	exportAt := l.xq.entries[0].at
+
+	l.SetUp(false)
+	if len(l.xq.entries) != 1 || l.Drops != 0 {
+		t.Fatalf("link failure touched the exported packet: %d entries, %d drops",
+			len(l.xq.entries), l.Drops)
+	}
+
+	n.Exchange(1, window)
+	dv := n.deliv[1]
+	if len(dv.queue) != 1 || dv.queue[0].p != p {
+		t.Fatalf("exported packet not queued for delivery: %+v", dv.queue)
+	}
+	if next, ok := n.DomainEngine(1).NextAt(); !ok || next != exportAt {
+		t.Fatalf("delivery scheduled at %v (ok=%v), want %v", next, ok, exportAt)
+	}
+}
+
+// TestPartitionedValidation exercises the build-time guards.
+func TestPartitionedValidation(t *testing.T) {
+	if _, err := NewPartitionedNetwork(nil, partCfg(2, 2)); err == nil {
+		t.Error("no engines: expected error")
+	}
+	if _, err := NewPartitionedNetwork(partEngines(3), partCfg(2, 2)); err == nil {
+		t.Error("more domains than leaves: expected error")
+	}
+	neg := partCfg(2, 2)
+	neg.FabricPropDelay = -1
+	if _, err := NewPartitionedNetwork(partEngines(1), neg); err == nil {
+		t.Error("negative FabricPropDelay: expected error")
+	}
+	nega := partCfg(2, 2)
+	nega.AccessPropDelay = -1
+	if _, err := NewPartitionedNetwork(partEngines(1), nega); err == nil {
+		t.Error("negative AccessPropDelay: expected error")
+	}
+	trace := partCfg(2, 2)
+	trace.Telemetry = telemetry.New(telemetry.Options{Trace: true})
+	if _, err := NewPartitionedNetwork(partEngines(2), trace); err == nil {
+		t.Error("trace under P>1: expected error")
+	}
+	if _, err := NewPartitionedNetwork(partEngines(1), trace); err != nil {
+		t.Errorf("trace under P=1 must stay allowed: %v", err)
+	}
+	tap := partCfg(2, 2)
+	tap.Telemetry = telemetry.New(telemetry.Options{Tap: true})
+	if _, err := NewPartitionedNetwork(partEngines(2), tap); err == nil {
+		t.Error("tap under P>1: expected error")
+	}
+}

@@ -257,8 +257,10 @@ func (f *Flow) FCT(done sim.Time) sim.Time { return done - f.Started }
 // path fully resets per-transfer protocol state. A nil *Pool is valid
 // everywhere and falls back to fresh allocation.
 type Pool struct {
-	conns []*Connection
-	flows []*Flow
+	conns      []*Connection
+	splitConns []*Connection // sender-only connections for cross-domain flows (split.go)
+	flows      []*Flow
+	halves     []*HalfFlow
 
 	// Allocs counts pool misses; Recycled counts connections reused.
 	ConnAllocs   uint64

@@ -1,0 +1,162 @@
+package mptcp
+
+import (
+	"conga/internal/fabric"
+	"conga/internal/sim"
+	"conga/internal/tcp"
+)
+
+// Split connections: the sender half of an MPTCP connection whose subflow
+// receivers live in another space-parallel partition domain (see
+// internal/fabric/partition.go). The parallel harness pre-binds one
+// tcp.Receiver per subflow on the destination host — at consecutive ports
+// dstPortBase..dstPortBase+Subflows-1 — inside the destination's domain,
+// and the connection here carries only the senders. Close's receiver loop
+// walks an empty slice, and the receivers (purely reactive) stay bound on
+// the destination side; the pool keeps split connections on their own free
+// list so a full connection's rebind never sees a missing receiver.
+
+// DialSplit creates the sender half of an MPTCP connection from src to the
+// receivers already bound at dstHost ports dstPortBase+i (subflow i).
+// flowIDBase seeds the subflow flow IDs exactly as Dial does.
+func DialSplit(eng *sim.Engine, src *fabric.Host, flowIDBase uint64,
+	dstHost, dstPortBase int, cfg Config) *Connection {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Connection{eng: eng, cfg: cfg, Started: eng.Now()}
+	for i := 0; i < cfg.Subflows; i++ {
+		s := tcp.NewSender(eng, src, flowIDBase+uint64(i), dstHost, dstPortBase+i, cfg.TCP)
+		idx := i
+		// Bound once per Connection object, as in Dial.
+		s.CAIncrease = func(acked int) { c.liaIncrease(idx, acked) }
+		s.OnAcked = func(bytes int64, now sim.Time) { c.onSubflowAcked(idx, bytes, now) }
+		c.senders = append(c.senders, s)
+	}
+	return c
+}
+
+// rebindSplit is Connection.rebind for split connections: only the sender
+// endpoints are re-addressed (there are no attached receivers to move).
+func (c *Connection) rebindSplit(eng *sim.Engine, src *fabric.Host, flowIDBase uint64,
+	dstHost, dstPortBase int, cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c.eng = eng
+	c.cfg = cfg
+	c.total, c.claimed, c.ackedSubs = 0, 0, 0
+	c.OnComplete = nil
+	c.Started = eng.Now()
+	c.closed = false
+	for i, s := range c.senders {
+		s.Rebind(eng, src, flowIDBase+uint64(i), dstHost, dstPortBase+i, cfg.TCP)
+	}
+}
+
+// HalfFlow mirrors tcp.HalfFlow for MPTCP: a one-shot transfer over a split
+// connection, reporting its completion time from the sender side.
+type HalfFlow struct {
+	Conn    *Connection
+	Size    int64
+	Started sim.Time
+
+	pool         *Pool
+	onDone       func(f *HalfFlow, now sim.Time)
+	onCompleteFn func(now sim.Time) // finish, bound once per HalfFlow object
+	inPool       bool
+}
+
+// finish is the split connection's OnComplete: tear the senders down, run
+// the caller's callback, then return the flow and connection to the pool.
+func (f *HalfFlow) finish(now sim.Time) {
+	f.Conn.Close()
+	if f.onDone != nil {
+		f.onDone(f, now)
+	}
+	if f.pool != nil {
+		f.pool.putHalf(f)
+	}
+}
+
+// FCT returns the flow completion time given the completion timestamp.
+func (f *HalfFlow) FCT(done sim.Time) sim.Time { return done - f.Started }
+
+// DialSplit is mptcp.DialSplit drawing from the pool's split-connection
+// free list; a nil pool allocates fresh. Recycled connections whose subflow
+// count no longer matches cfg are discarded, as in Dial.
+func (p *Pool) DialSplit(eng *sim.Engine, src *fabric.Host, flowIDBase uint64,
+	dstHost, dstPortBase int, cfg Config) *Connection {
+	if p != nil {
+		for n := len(p.splitConns); n > 0; n = len(p.splitConns) {
+			c := p.splitConns[n-1]
+			p.splitConns[n-1] = nil
+			p.splitConns = p.splitConns[:n-1]
+			c.inPool = false
+			if len(c.senders) != cfg.Subflows {
+				continue
+			}
+			p.ConnRecycled++
+			c.rebindSplit(eng, src, flowIDBase, dstHost, dstPortBase, cfg)
+			return c
+		}
+		p.ConnAllocs++
+	}
+	return DialSplit(eng, src, flowIDBase, dstHost, dstPortBase, cfg)
+}
+
+// putConnSplit releases a closed split connection to its own free list.
+func (p *Pool) putConnSplit(c *Connection) {
+	if p == nil || c == nil || !c.closed || c.inPool {
+		return
+	}
+	c.OnComplete = nil
+	c.inPool = true
+	p.splitConns = append(p.splitConns, c)
+}
+
+// StartHalfFlow begins an MPTCP transfer of size bytes from src to the
+// receivers already bound at dstHost ports dstPortBase+i. When pooled, the
+// flow returns to the pool right after onDone, so the callback must not
+// retain the *HalfFlow or its connection.
+func (p *Pool) StartHalfFlow(eng *sim.Engine, src *fabric.Host, flowIDBase uint64,
+	dstHost, dstPortBase int, size int64, cfg Config, onDone func(f *HalfFlow, now sim.Time)) *HalfFlow {
+	if size <= 0 {
+		size = 1
+	}
+	f := p.getHalf()
+	f.pool = p
+	f.onDone = onDone
+	f.Conn = p.DialSplit(eng, src, flowIDBase, dstHost, dstPortBase, cfg)
+	f.Size = size
+	f.Started = eng.Now()
+	f.Conn.OnComplete = f.onCompleteFn
+	f.Conn.Transfer(size, eng.Now())
+	return f
+}
+
+func (p *Pool) getHalf() *HalfFlow {
+	if p != nil {
+		if n := len(p.halves); n > 0 {
+			f := p.halves[n-1]
+			p.halves[n-1] = nil
+			p.halves = p.halves[:n-1]
+			f.inPool = false
+			return f
+		}
+	}
+	f := &HalfFlow{}
+	f.onCompleteFn = f.finish
+	return f
+}
+
+func (p *Pool) putHalf(f *HalfFlow) {
+	if p == nil || f == nil || f.inPool {
+		return
+	}
+	p.putConnSplit(f.Conn)
+	f.Conn = nil
+	f.onDone = nil
+	f.inPool = true
+	p.halves = append(p.halves, f)
+}

@@ -180,6 +180,22 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // events are removed eagerly, so they never linger in this count.
 func (e *Engine) Pending() int { return e.pending }
 
+// Live returns the number of pending non-daemon events. The window runner
+// (ParallelEngine) sums it across domains to decide global termination, the
+// same criterion Run(MaxTime) applies to a single engine.
+func (e *Engine) Live() int { return e.live }
+
+// NextAt returns the timestamp of the earliest pending event (daemon or
+// not) and whether one exists. Peeking may cascade the timing wheel but
+// never reorders or executes anything.
+func (e *Engine) NextAt() (Time, bool) {
+	ev := e.nextEvent()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a model bug, and silently reordering time would corrupt every
 // downstream measurement.

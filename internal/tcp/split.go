@@ -1,0 +1,95 @@
+package tcp
+
+import (
+	"conga/internal/fabric"
+	"conga/internal/sim"
+)
+
+// HalfFlow is the sender half of a transfer whose receiver lives in another
+// space-parallel partition domain (see internal/fabric/partition.go). The
+// parallel harness pre-binds a Receiver on the destination host inside the
+// destination's domain and passes its port here, so the sender side — the
+// part that owns the flow's lifecycle and completion time — runs entirely
+// inside the source domain. The receiver is purely reactive (it schedules
+// nothing and just ACKs what arrives), so leaving it bound after the flow
+// completes changes no observable behavior: late retransmits are re-ACKed
+// exactly as a real closed-but-lingering endpoint would.
+type HalfFlow struct {
+	Sender  *Sender
+	Size    int64
+	Started sim.Time
+
+	pool         *FlowPool
+	onDone       func(f *HalfFlow, now sim.Time)
+	onAllAckedFn func(now sim.Time) // finish, bound once per HalfFlow object
+	inPool       bool
+}
+
+// StartHalfFlow begins transferring size bytes from src to the receiver
+// already bound at (dstHost, dstPort). onDone (optional) receives the flow
+// and its completion time; the sender is closed before the callback, and
+// the flow returns to the pool right after, so the callback must not retain
+// it. The destination receiver is the caller's to manage.
+func (p *FlowPool) StartHalfFlow(eng *sim.Engine, src *fabric.Host, flowID uint64,
+	dstHost, dstPort int, size int64, cfg Config, onDone func(f *HalfFlow, now sim.Time)) *HalfFlow {
+	if size <= 0 {
+		size = 1
+	}
+	now := eng.Now()
+	f := p.getHalf()
+	f.pool = p
+	f.onDone = onDone
+	f.Size = size
+	f.Started = now
+	f.Sender = p.NewSender(eng, src, flowID, dstHost, dstPort, cfg)
+	f.Sender.OnAllAcked = f.onAllAckedFn
+	f.Sender.Queue(size, now)
+	return f
+}
+
+// finish is the half-flow's completion path (the sender's OnAllAcked):
+// close the sender first so its port recycles even if the callback panics,
+// run the caller's callback, then hand the shell back to the pool.
+func (f *HalfFlow) finish(now sim.Time) {
+	f.Sender.Close()
+	if f.onDone != nil {
+		f.onDone(f, now)
+	}
+	if f.pool != nil {
+		f.pool.putHalf(f)
+	}
+}
+
+// FCT returns the flow completion time given the completion timestamp.
+func (f *HalfFlow) FCT(done sim.Time) sim.Time { return done - f.Started }
+
+// getHalf acquires a HalfFlow shell, from the free list when possible. The
+// completion callback is bound once per object, on first construction.
+func (p *FlowPool) getHalf() *HalfFlow {
+	if p != nil {
+		if n := len(p.halves); n > 0 {
+			f := p.halves[n-1]
+			p.halves[n-1] = nil
+			p.halves = p.halves[:n-1]
+			p.FlowRecycled++
+			f.inPool = false
+			return f
+		}
+		p.FlowAllocs++
+	}
+	f := &HalfFlow{}
+	f.onAllAckedFn = f.finish
+	return f
+}
+
+// putHalf releases a completed half-flow and its sender.
+func (p *FlowPool) putHalf(f *HalfFlow) {
+	if p == nil || f == nil || f.inPool {
+		return
+	}
+	p.PutSender(f.Sender)
+	f.Sender = nil
+	f.onDone = nil
+	f.inPool = true
+	p.halves = append(p.halves, f)
+}

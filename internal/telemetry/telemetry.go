@@ -164,6 +164,11 @@ type Registry struct {
 	links   []*LinkCounters
 	linkIdx map[string]*LinkCounters
 	tcp     TCPCounters
+	// tcpShards holds extra TCP counter blocks for the space-parallel
+	// engine: shard 0 is r.tcp itself, shard d>0 is tcpShards[d-1], so a
+	// sequential run is wired exactly as before. Each shard is written by
+	// one domain goroutine only; TCPTotals sums them all.
+	tcpShards []*TCPCounters
 
 	flowlets []FlowletRow
 
@@ -225,6 +230,23 @@ func (r *Registry) TCP() *TCPCounters {
 		return nil
 	}
 	return &r.tcp
+}
+
+// TCPShard returns the TCP counter block for partition domain d, creating
+// shards on first use. Shard 0 is the registry's own block (== TCP()), so
+// sequential callers see no difference. Shards must be created before the
+// run starts; the accessor is not goroutine-safe.
+func (r *Registry) TCPShard(d int) *TCPCounters {
+	if r == nil || !r.opts.Counters {
+		return nil
+	}
+	if d == 0 {
+		return &r.tcp
+	}
+	for len(r.tcpShards) < d {
+		r.tcpShards = append(r.tcpShards, &TCPCounters{})
+	}
+	return r.tcpShards[d-1]
 }
 
 // Trace returns the packet trace, or nil when tracing is disabled.
@@ -319,12 +341,13 @@ func (r *Registry) CounterRows() []CounterRow {
 		)
 	}
 	if r.opts.Counters {
+		tcp := r.TCPTotals()
 		rows = append(rows,
-			CounterRow{"tcp", "", "retransmits", r.tcp.Retransmits},
-			CounterRow{"tcp", "", "timeouts", r.tcp.Timeouts},
-			CounterRow{"tcp", "", "fast_retx", r.tcp.FastRetx},
-			CounterRow{"tcp", "", "dup_acks", r.tcp.DupAcks},
-			CounterRow{"tcp", "", "reorder_defers", r.tcp.ReorderDefers},
+			CounterRow{"tcp", "", "retransmits", tcp.Retransmits},
+			CounterRow{"tcp", "", "timeouts", tcp.Timeouts},
+			CounterRow{"tcp", "", "fast_retx", tcp.FastRetx},
+			CounterRow{"tcp", "", "dup_acks", tcp.DupAcks},
+			CounterRow{"tcp", "", "reorder_defers", tcp.ReorderDefers},
 		)
 	}
 	fl := append([]FlowletRow(nil), r.flowlets...)
@@ -354,12 +377,21 @@ func (r *Registry) LinkTotals() (enq, deq, drops, ceMarks uint64) {
 	return
 }
 
-// TCPTotals returns a copy of the engine-wide TCP counters.
+// TCPTotals returns the engine-wide TCP counters summed over every
+// partition shard (just the base block for a sequential run).
 func (r *Registry) TCPTotals() TCPCounters {
 	if r == nil {
 		return TCPCounters{}
 	}
-	return r.tcp
+	t := r.tcp
+	for _, s := range r.tcpShards {
+		t.Retransmits += s.Retransmits
+		t.Timeouts += s.Timeouts
+		t.FastRetx += s.FastRetx
+		t.DupAcks += s.DupAcks
+		t.ReorderDefers += s.ReorderDefers
+	}
+	return t
 }
 
 // FlowletTotals sums the per-leaf flowlet rows (valid after Collect).

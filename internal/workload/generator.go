@@ -160,6 +160,55 @@ func (g *Generator) launch(now sim.Time) {
 	g.start(src, dst, id, size)
 }
 
+// Arrival is one pregenerated flow arrival.
+type Arrival struct {
+	At     sim.Time
+	Src    int
+	Dst    int
+	FlowID uint64
+	Size   int64
+}
+
+// Pregenerate draws the entire arrival sequence up front instead of
+// scheduling live events, consuming the RNG in exactly the order the live
+// process would (gap, then source, destination and size per arrival), so a
+// pregenerated run offers the identical workload to a Started one. The
+// space-parallel harness uses it to distribute arrivals across per-domain
+// engines before the run begins. Counters (Generated, OfferedBytes) are
+// updated as if the flows had launched; a pregenerated generator must not
+// also be Started.
+func (g *Generator) Pregenerate() []Arrival {
+	var out []Arrival
+	now := g.eng.Now()
+	for {
+		if g.cfg.MaxFlows > 0 && g.created >= g.cfg.MaxFlows {
+			break
+		}
+		gap := sim.Time(g.rng.ExpFloat64() / g.ArrivalRate() * float64(sim.Second))
+		next := now + gap
+		if next > g.cfg.Duration {
+			break
+		}
+		src := g.pickHost(-1)
+		var dst *fabric.Host
+		if g.cfg.InterLeafOnly {
+			dst = g.pickHost(src.Leaf)
+		} else {
+			for dst = g.pickHost(-1); dst == src; dst = g.pickHost(-1) {
+			}
+		}
+		size := g.cfg.Dist.Sample(g.rng)
+		id := g.nextID
+		g.nextID += g.cfg.Stride
+		g.created++
+		g.Generated++
+		g.OfferedBytes += size
+		out = append(out, Arrival{At: next, Src: src.ID, Dst: dst.ID, FlowID: id, Size: size})
+		now = next
+	}
+	return out
+}
+
 // pickHost selects a host uniformly; when avoidLeaf ≥ 0 the host must be
 // under a different leaf.
 func (g *Generator) pickHost(avoidLeaf int) *fabric.Host {

@@ -1,0 +1,268 @@
+package conga
+
+import (
+	"fmt"
+	"time"
+
+	"conga/internal/core"
+	"conga/internal/mptcp"
+	"conga/internal/sim"
+	"conga/internal/stats"
+	"conga/internal/tcp"
+	"conga/internal/telemetry"
+	"conga/internal/workload"
+)
+
+// recvPortBase splits every host's port space between the two sides of a
+// cross-domain flow: receivers are pre-bound at recvPortBase and above
+// before the run starts, and LimitEphemeralPorts keeps concurrent sender
+// port allocation (which runs inside the source host's domain) strictly
+// below it. No port decision is therefore ever made across a domain
+// boundary during the run.
+const recvPortBase = 1 << 25
+
+// parArrival is one pregenerated flow arrival routed to its source
+// domain's start queue. dstPort is the pre-assigned receiver port (base
+// port for MPTCP's consecutive subflow ports).
+type parArrival struct {
+	at      sim.Time
+	src     int
+	dst     int
+	flowID  uint64
+	size    int64
+	dstPort int
+}
+
+// parDomain is one domain's private slice of the experiment: its engine,
+// transport pools, results recorder and the arrivals whose source host it
+// owns. Nothing here is shared — domains meet only through the fabric's
+// mailboxes — so the completion callbacks need no locks.
+type parDomain struct {
+	id    int
+	eng   *sim.Engine
+	pool  *tcp.FlowPool
+	mpool *mptcp.Pool
+	rec   *stats.FCTRecorder
+
+	retx     uint64
+	timeouts uint64
+
+	arrivals []parArrival
+	next     int
+	startFn  sim.Event // bound once; walks arrivals allocation-free
+}
+
+// runFCTParallel is RunFCT for cfg.Parallel > 1: the fabric is partitioned
+// into cfg.Parallel domains, one engine and one worker goroutine each,
+// executed in bounded windows of FabricPropDelay by sim.ParallelEngine.
+//
+// The sequential run's live Poisson generator and single flow-object pool
+// do not decompose across engines, so the parallel path restructures the
+// harness while offering the bit-identical workload:
+//
+//   - Arrivals are pregenerated on one RNG (consumed in exactly the live
+//     order), then routed to the source host's domain, which starts each
+//     flow at its arrival time through a per-domain cursor event.
+//   - Receivers are pre-bound in the destination host's domain before the
+//     run (ports from recvPortBase up), so flow setup never crosses a
+//     domain boundary; senders run as tcp/mptcp half-flows whose teardown
+//     is lazy (see internal/tcp/split.go for why that is correct TCP).
+//   - Each domain records FCTs into its own recorder; recorders merge in
+//     domain order after the run, so results are deterministic for a fixed
+//     worker count regardless of goroutine scheduling.
+//
+// Options that structurally need one engine are rejected up front with
+// errors naming the sequential alternative.
+func runFCTParallel(cfg FCTConfig) (*FCTResult, error) {
+	switch {
+	case cfg.CollectImbalance:
+		return nil, fmt.Errorf("conga: CollectImbalance is not supported with Parallel=%d (its sampler ticks on one engine but reads uplinks across domains); collect it on a sequential run", cfg.Parallel)
+	case cfg.CollectQueues:
+		return nil, fmt.Errorf("conga: CollectQueues is not supported with Parallel=%d (its sampler reads fabric links across domains); collect it on a sequential run", cfg.Parallel)
+	case cfg.SampleCap > 0:
+		return nil, fmt.Errorf("conga: SampleCap is not supported with Parallel=%d (per-domain reservoirs cannot merge into a uniform sample); use a sequential run or unbounded samples", cfg.Parallel)
+	}
+	if t := cfg.Telemetry; t != nil && (t.Trace || t.Tap || t.Hub != nil) {
+		return nil, fmt.Errorf("conga: telemetry traces and live taps are not supported with Parallel=%d (they interleave events from all domains in one stream); counters and series remain available", cfg.Parallel)
+	}
+
+	fabScheme, transport, err := schemeForFabric(cfg.Scheme, cfg.Transport.Kind)
+	if err != nil {
+		return nil, err
+	}
+	params := DefaultParams()
+	if cfg.Scheme == SchemeCONGAFlow {
+		params = core.CongaFlowParams()
+	}
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+
+	P := cfg.Parallel
+	engines := make([]*sim.Engine, P)
+	for i := range engines {
+		engines[i] = sim.New()
+	}
+	var reg *telemetry.Registry
+	if cfg.Telemetry != nil {
+		reg = telemetry.New(*cfg.Telemetry)
+	}
+	net, err := cfg.Topology.buildPartitioned(engines, fabScheme, params, cfg.WCMPWeights, cfg.Seed, reg)
+	if err != nil {
+		return nil, err
+	}
+
+	dist := cfg.Custom
+	if dist == nil {
+		dist = cfg.Workload.Dist()
+	}
+
+	tcpCfg := cfg.Transport.tcpConfig()
+	mpCfg := mptcp.Config{Subflows: cfg.Transport.Subflows, TCP: tcpCfg, ChunkSegments: 4}
+	subflows := 1
+	if transport == TransportMPTCP {
+		subflows = cfg.Transport.Subflows
+	}
+
+	// Draw the whole arrival sequence up front on the same RNG stream the
+	// sequential run consumes live, so both modes offer the identical
+	// workload.
+	gen, err := workload.NewGenerator(engines[0], net, workload.GenConfig{
+		Load:          cfg.Load,
+		Dist:          dist,
+		Duration:      sim.Duration(cfg.Duration),
+		MaxFlows:      cfg.MaxFlows,
+		InterLeafOnly: true,
+		Stride:        uint64(subflows),
+		Seed:          cfg.Seed,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	arrivals := gen.Pregenerate()
+
+	doms := make([]*parDomain, P)
+	for d := range doms {
+		doms[d] = &parDomain{
+			id:    d,
+			eng:   engines[d],
+			pool:  tcp.NewFlowPool(),
+			mpool: mptcp.NewPool(),
+			rec:   stats.NewFCTRecorder(0),
+		}
+	}
+
+	// Pre-bind every flow's receiver(s) in the destination host's domain
+	// and route the arrival to the source host's domain. Binding before
+	// the run is sound because receivers are purely reactive: no packet
+	// addressed to a pre-bound port exists before its sender starts.
+	for _, h := range net.Hosts {
+		h.LimitEphemeralPorts(recvPortBase - 1)
+	}
+	nextRecv := make([]int, len(net.Hosts))
+	for _, a := range arrivals {
+		port := recvPortBase + nextRecv[a.Dst]
+		nextRecv[a.Dst] += subflows
+		for i := 0; i < subflows; i++ {
+			tcp.NewReceiver(net.Host(a.Dst), port+i)
+		}
+		sd := net.HostDomain(a.Src)
+		doms[sd].arrivals = append(doms[sd].arrivals, parArrival{
+			at: a.At, src: a.Src, dst: a.Dst,
+			flowID: a.FlowID, size: a.Size, dstPort: port,
+		})
+	}
+
+	hook := cfg.testFlowHook
+	for _, dd := range doms {
+		d := dd
+		tcpDone := func(f *tcp.HalfFlow, now sim.Time) {
+			opt := sim.Duration(OptimalFCT(cfg.Topology, cfg.Transport, f.Size))
+			d.rec.Record(f.Size, f.FCT(now), opt)
+			st := f.Sender.Stats()
+			d.retx += st.RetxSegments
+			d.timeouts += st.Timeouts
+			if hook != nil {
+				hook(d.id, f.Sender.FlowID(), f.FCT(now))
+			}
+		}
+		mptcpDone := func(f *mptcp.HalfFlow, now sim.Time) {
+			opt := sim.Duration(OptimalFCT(cfg.Topology, cfg.Transport, f.Size))
+			d.rec.Record(f.Size, f.FCT(now), opt)
+			subs := f.Conn.Subflows()
+			for _, s := range subs {
+				st := s.Stats()
+				d.retx += st.RetxSegments
+				d.timeouts += st.Timeouts
+			}
+			if hook != nil {
+				hook(d.id, subs[0].FlowID(), f.FCT(now))
+			}
+		}
+		d.startFn = func(now sim.Time) {
+			a := &d.arrivals[d.next]
+			d.next++
+			src := net.Host(a.src)
+			switch transport {
+			case TransportMPTCP:
+				d.mpool.StartHalfFlow(d.eng, src, a.flowID, a.dst, a.dstPort, a.size, mpCfg, mptcpDone)
+			default:
+				d.pool.StartHalfFlow(d.eng, src, a.flowID, a.dst, a.dstPort, a.size, tcpCfg, tcpDone)
+			}
+			if d.next < len(d.arrivals) {
+				d.eng.At(d.arrivals[d.next].at, d.startFn)
+			}
+		}
+		if len(d.arrivals) > 0 {
+			d.eng.At(d.arrivals[0].at, d.startFn)
+		}
+	}
+
+	pe := sim.NewParallelEngine(engines, net.Cfg.FabricPropDelay)
+	for i := 0; i < P; i++ {
+		d := i
+		pe.SetExchange(d, func(windowEnd sim.Time) { net.Exchange(d, windowEnd) })
+	}
+	endAt := pe.Run(sim.Duration(cfg.Duration) + sim.Duration(cfg.DrainTimeout))
+
+	// Deterministic merge: domain order, each recorder internally in its
+	// engine's execution order.
+	rec := stats.NewFCTRecorder(0)
+	var retx, timeouts, events uint64
+	for _, d := range doms {
+		rec.Merge(d.rec)
+		retx += d.retx
+		timeouts += d.timeouts
+		events += d.eng.Executed()
+	}
+
+	res := &FCTResult{
+		Scheme:         SchemeName(cfg.Scheme),
+		Workload:       dist.Name(),
+		Load:           cfg.Load,
+		Generated:      gen.Generated,
+		Completed:      rec.Flows,
+		AvgFCT:         time.Duration(rec.Overall.Mean() * 1e9),
+		P99FCT:         time.Duration(rec.Overall.Quantile(0.99) * 1e9),
+		NormFCT:        rec.NormOfMeans(),
+		NormFCTPerFlow: rec.OverallNorm.Mean(),
+		SmallAvgFCT:    time.Duration(rec.Small.Mean() * 1e9),
+		LargeAvgFCT:    time.Duration(rec.Large.Mean() * 1e9),
+		SmallCount:     rec.Small.N(),
+		LargeCount:     rec.Large.N(),
+		Drops:          net.TotalDrops(),
+		Retransmits:    retx,
+		Timeouts:       timeouts,
+		SimTime:        time.Duration(endAt),
+		Events:         events,
+	}
+	if reg != nil {
+		reg.Collect()
+		reg.FinishTap(endAt)
+		if err := reg.Flush(); err != nil {
+			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
+		}
+		res.Telemetry = reg
+	}
+	return res, nil
+}

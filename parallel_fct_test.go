@@ -1,0 +1,205 @@
+package conga
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"conga/internal/sim"
+)
+
+// scaleCell returns the FCTConfig of one 40G scale-sweep cell at the given
+// fabric width, sized down for test runtime.
+func scaleCell(leaves, maxFlows int, dur time.Duration) FCTConfig {
+	return FCTConfig{
+		Topology: Topology{
+			Leaves: leaves, Spines: 4, HostsPerLeaf: 4, LinksPerSpine: 2,
+			AccessGbps: 40, FabricGbps: 40,
+		},
+		Scheme:    SchemeCONGA,
+		Workload:  WorkloadEnterprise,
+		Load:      0.6,
+		Transport: TransportConfig{MinRTO: 10 * time.Millisecond},
+		Duration:  dur,
+		MaxFlows:  maxFlows,
+		Seed:      7,
+	}
+}
+
+// TestParallelMatchesSequential checks that a space-parallel run offers the
+// identical workload to the sequential run (same generated flow count, all
+// completing) and lands within the accepted ±2% normalized-FCT band —
+// parallel runs are deterministic but not bit-identical to sequential ones,
+// because same-timestamp events in different domains interleave differently.
+func TestParallelMatchesSequential(t *testing.T) {
+	seqCfg := scaleCell(8, 200, 4*time.Millisecond)
+	seq, err := RunFCT(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parCfg := seqCfg
+	parCfg.Parallel = 4
+	par, err := RunFCT(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if par.Generated != seq.Generated {
+		t.Fatalf("generated: parallel %d, sequential %d", par.Generated, seq.Generated)
+	}
+	if par.Completed != seq.Completed {
+		t.Fatalf("completed: parallel %d, sequential %d", par.Completed, seq.Completed)
+	}
+	if seq.NormFCT <= 0 || par.NormFCT <= 0 {
+		t.Fatalf("norm FCT: parallel %v, sequential %v", par.NormFCT, seq.NormFCT)
+	}
+	// Parallel mode pre-assigns receiver ports, so flows hash onto
+	// different paths than the sequential run — statistically equivalent,
+	// not per-flow identical. At this test's 200-flow scale the band is
+	// loose; the benchmark-scale ±2% gate lives in tools/benchguard.
+	if diff := par.NormFCT/seq.NormFCT - 1; diff > 0.10 || diff < -0.10 {
+		t.Fatalf("norm FCT drifted %+.2f%%: parallel %v, sequential %v",
+			diff*100, par.NormFCT, seq.NormFCT)
+	}
+}
+
+// flowFCT is one completed flow observed through the test hook.
+type flowFCT struct {
+	id  uint64
+	fct sim.Time
+}
+
+// runParallelVector runs one parallel experiment and returns its per-flow
+// FCT vector sorted by flow ID.
+func runParallelVector(t *testing.T, cfg FCTConfig, workers int) []flowFCT {
+	t.Helper()
+	vecs := make([][]flowFCT, workers)
+	cfg.Parallel = workers
+	cfg.testFlowHook = func(dom int, id uint64, fct sim.Time) {
+		vecs[dom] = append(vecs[dom], flowFCT{id, fct})
+	}
+	res, err := RunFCT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []flowFCT
+	for _, v := range vecs {
+		all = append(all, v...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	if len(all) != res.Completed {
+		t.Fatalf("hook saw %d flows, result reports %d", len(all), res.Completed)
+	}
+	return all
+}
+
+// TestParallelDeterministic256 is the -race stress test: a 256-leaf fabric
+// run space-parallel at 2, 4 and 8 workers, twice each. For every worker
+// count the two repetitions must produce identical per-flow FCT vectors —
+// goroutine scheduling may reorder wall-clock execution but never results —
+// and the race detector must stay silent across the domain barriers.
+func TestParallelDeterministic256(t *testing.T) {
+	cfg := scaleCell(256, 120, 2*time.Millisecond)
+	for _, workers := range []int{2, 4, 8} {
+		a := runParallelVector(t, cfg, workers)
+		b := runParallelVector(t, cfg, workers)
+		if len(a) == 0 {
+			t.Fatalf("workers=%d: no flows completed", workers)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("workers=%d: run lengths differ: %d vs %d", workers, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("workers=%d: flow %d differs: %+v vs %+v", workers, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestParallelRejectsUnsupportedOptions checks the fail-fast validation:
+// every option that structurally needs a single engine is rejected with an
+// error explaining the sequential alternative, and a partition wider than
+// the fabric is impossible.
+func TestParallelRejectsUnsupportedOptions(t *testing.T) {
+	base := scaleCell(8, 50, time.Millisecond)
+	cases := []struct {
+		name string
+		mut  func(*FCTConfig)
+	}{
+		{"imbalance", func(c *FCTConfig) { c.CollectImbalance = true }},
+		{"queues", func(c *FCTConfig) { c.CollectQueues = true }},
+		{"samplecap", func(c *FCTConfig) { c.SampleCap = 100 }},
+		{"trace", func(c *FCTConfig) { c.Telemetry = &TelemetryOptions{Trace: true} }},
+		{"tap", func(c *FCTConfig) { c.Telemetry = &TelemetryOptions{Tap: true} }},
+		{"hub", func(c *FCTConfig) { c.Telemetry = &TelemetryOptions{Hub: NewTelemetryHub()} }},
+		{"too-wide", func(c *FCTConfig) { c.Parallel = c.Topology.Leaves + 1 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		cfg.Parallel = 2
+		tc.mut(&cfg)
+		if _, err := RunFCT(cfg); err == nil {
+			t.Errorf("%s: expected an error, got none", tc.name)
+		}
+	}
+}
+
+// TestParallelMPTCP exercises the split MPTCP path (pre-bound subflow
+// receivers, sender-side half connections) end to end and its determinism.
+func TestParallelMPTCP(t *testing.T) {
+	cfg := scaleCell(8, 80, 2*time.Millisecond)
+	cfg.Scheme = SchemeMPTCPMarker
+	a := runParallelVector(t, cfg, 4)
+	b := runParallelVector(t, cfg, 4)
+	if len(a) == 0 {
+		t.Fatal("no MPTCP flows completed")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestParallelTelemetryCounters checks that counters-and-series telemetry —
+// the probes that are supported in parallel mode — can be enabled without
+// perturbing results: per-flow FCT vectors with telemetry on and off are
+// identical, and TCP counters aggregate across the per-domain shards.
+func TestParallelTelemetryCounters(t *testing.T) {
+	cfg := scaleCell(8, 80, 2*time.Millisecond)
+	plain := runParallelVector(t, cfg, 4)
+
+	cfg.Telemetry = &TelemetryOptions{Counters: true, Series: true}
+	instr := runParallelVector(t, cfg, 4)
+	if len(plain) != len(instr) {
+		t.Fatalf("telemetry changed completion count: %d vs %d", len(plain), len(instr))
+	}
+	for i := range plain {
+		if plain[i] != instr[i] {
+			t.Fatalf("telemetry perturbed flow %d: %+v vs %+v", i, plain[i], instr[i])
+		}
+	}
+
+	cfg.testFlowHook = nil
+	res, err := RunFCT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("telemetry registry missing from result")
+	}
+	enq, deq, _, _ := res.Telemetry.LinkTotals()
+	if enq == 0 || deq == 0 {
+		t.Fatalf("link counters empty: enqueues=%d dequeues=%d", enq, deq)
+	}
+	tot := res.Telemetry.TCPTotals()
+	if tot.Retransmits != res.Retransmits || tot.Timeouts != res.Timeouts {
+		t.Fatalf("per-domain TCP shards did not aggregate: telemetry (%d retx, %d timeouts), result (%d, %d)",
+			tot.Retransmits, tot.Timeouts, res.Retransmits, res.Timeouts)
+	}
+}

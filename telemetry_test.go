@@ -52,6 +52,35 @@ func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
 		if len(reg.AllSeries()) == 0 {
 			t.Fatalf("%s: no series registered", off.Scheme)
 		}
+
+		// Space-parallel leg of the matrix: the same non-perturbation
+		// contract holds per worker count. Trace/Tap/Hub are rejected under
+		// Parallel>1 (single-engine machinery), so this leg runs the probes
+		// parallel mode supports — counters and series — and demands the
+		// bit-identical result parallel determinism guarantees.
+		pcfg := cfg
+		pcfg.Parallel = 2
+		pcfg.Telemetry = nil
+		poff, err := RunFCT(pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcfg.Telemetry = &TelemetryOptions{Counters: true, Series: true}
+		pon, err := RunFCT(pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pon.Telemetry == nil {
+			t.Fatalf("%s parallel: telemetry requested but result carries none", pon.Scheme)
+		}
+		preg := pon.Telemetry
+		pon.Telemetry = nil
+		if !reflect.DeepEqual(poff, pon) {
+			t.Fatalf("%s parallel: telemetry changed the simulation\noff: %+v\non:  %+v", poff.Scheme, poff, pon)
+		}
+		if enq, _, _, _ := preg.LinkTotals(); enq == 0 {
+			t.Fatalf("%s parallel: no enqueues counted", poff.Scheme)
+		}
 	}
 }
 
