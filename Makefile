@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-engine bench-quick bench-parallel bench-guard bench-guard-parallel check
+.PHONY: build test race vet bench bench-engine bench-quick bench-parallel bench-guard bench-guard-parallel replay-smoke check
 
 build:
 	$(GO) build ./...
@@ -60,5 +60,19 @@ bench-guard-parallel:
 		-require 'BenchmarkScale256Leaves40G,BenchmarkScale256Leaves40GParallel2,BenchmarkScale256Leaves40GParallel4,BenchmarkScale256Leaves40GParallel8' \
 		-speedup 'BenchmarkScale256Leaves40GParallel8:BenchmarkScale256Leaves40G:2.5' \
 		bench-parallel.txt
+
+# End-to-end record/replay smoke (~1 min): record a workload trace with
+# congasim, verify congatrace reads its header back, replay the identical
+# arrival sequence into CONGA, then run the paired ECMP-vs-every-scheme
+# comparison with bootstrap CIs at -quick scale. CI uploads the recorded
+# trace as an artifact.
+replay-smoke:
+	$(GO) build -o /tmp/congasim ./cmd/congasim
+	/tmp/congasim -scheme ecmp -leaves 2 -spines 2 -hosts 8 -duration 10ms \
+		-maxflows 300 -minrto 10ms -record replay-smoke.trace.gz
+	$(GO) run ./cmd/congatrace -read replay-smoke.trace.gz
+	/tmp/congasim -scheme conga -leaves 2 -spines 2 -hosts 8 -minrto 10ms \
+		-replay replay-smoke.trace.gz
+	$(GO) run ./cmd/congabench -fig replay -quick
 
 check: build vet test race

@@ -49,6 +49,7 @@ var experiments = []experiment{
 	{"thm2", "Theorem 2: traffic imbalance vs time, flow sizes, flowlets", runThm2},
 	{"ablation", "Ablations: parameter sensitivity (Q, τ, Tfl, gap mode)", runAblation},
 	{"scale", "Scale sweep: 64/128/256-leaf fabrics at 40G/100G access", runScale},
+	{"replay", "Paired A/B comparison: every scheme on one recorded trace, bootstrap CIs", runReplay},
 }
 
 // telemetryDir, when set via -telemetry, makes every figure run emit its

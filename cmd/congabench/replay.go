@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	conga "conga"
+)
+
+// runReplay is the paired A/B comparison on a recorded trace: record one
+// workload under ECMP, then replay the identical arrival sequence into
+// every scheme and report matched-pairs FCT deltas against the ECMP
+// baseline with bootstrap confidence intervals. Where Figure 9 compares
+// schemes across independently drawn workloads, this isolates the scheme
+// effect: every flow is the same size, from the same host, at the same
+// instant, under every scheme.
+func runReplay(quick bool) {
+	base := fctConfig(quick, conga.SchemeECMP, conga.WorkloadEnterprise, 0.6)
+	base.Telemetry = telemetryFor("replay_record_ecmp")
+	base.Record = true
+	rec, err := conga.RunFCT(base)
+	check(err)
+	h := rec.Trace.Header
+	fmt.Printf("recorded %d flows (%.1f MB offered) under %s/%s at %.0f%% load on %s\n\n",
+		h.Flows, float64(h.Bytes)/1e6, h.Scheme, h.Workload, h.Load*100, h.Topo)
+
+	fmt.Printf("%-11s %7s %12s %12s %26s %18s %6s\n",
+		"scheme", "pairs", "mean ECMP", "mean B", "Δmean [95% CI]", "ratio [95% CI]", "wins")
+	for _, s := range []conga.Scheme{conga.SchemeCONGA, conga.SchemeCONGAFlow, conga.SchemeMPTCPMarker} {
+		res, err := conga.RunReplayCompare(conga.ReplayCompareConfig{
+			Trace: rec.Trace,
+			A:     fctConfig(quick, conga.SchemeECMP, conga.WorkloadEnterprise, 0.6),
+			B:     fctConfig(quick, s, conga.WorkloadEnterprise, 0.6),
+		})
+		check(err)
+		o := res.Overall
+		fmt.Printf("%-11s %7d %12v %12v %9v [%8v, %8v] %5.2f [%4.2f, %4.2f] %5.0f%%\n",
+			conga.SchemeName(s), o.Pairs,
+			o.MeanA.Round(time.Microsecond), o.MeanB.Round(time.Microsecond),
+			o.MeanDelta.Round(time.Microsecond),
+			o.DeltaLo.Round(time.Microsecond), o.DeltaHi.Round(time.Microsecond),
+			o.MeanRatio, o.RatioLo, o.RatioHi, o.WinFraction*100)
+		for _, b := range []conga.PairedBucket{res.Small, res.Large} {
+			if b.Pairs == 0 {
+				continue
+			}
+			fmt.Printf("  %-9s %7d %12v %12v %9v [%8v, %8v] %5.2f [%4.2f, %4.2f] %5.0f%%\n",
+				b.Name, b.Pairs,
+				b.MeanA.Round(time.Microsecond), b.MeanB.Round(time.Microsecond),
+				b.MeanDelta.Round(time.Microsecond),
+				b.DeltaLo.Round(time.Microsecond), b.DeltaHi.Round(time.Microsecond),
+				b.MeanRatio, b.RatioLo, b.RatioHi, b.WinFraction*100)
+		}
+		if res.UnmatchedA+res.UnmatchedB > 0 {
+			fmt.Printf("  (unpaired: %d only under ECMP, %d only under %s)\n",
+				res.UnmatchedA, res.UnmatchedB, conga.SchemeName(s))
+		}
+	}
+	fmt.Println("\nΔmean = mean(B) − mean(ECMP) over matched pairs (negative: B faster);")
+	fmt.Println("ratio = mean(B)/mean(ECMP); wins = fraction of flows B finished first.")
+	fmt.Println("CIs are percentile bootstrap over resampled flow pairs (1000 resamples).")
+}

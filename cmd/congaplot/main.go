@@ -1,7 +1,8 @@
 // Command congaplot renders the paper-style figures (queue depth over
 // time, DRE register trajectories, congestion-table maxima — the shapes of
 // Figures 4 and 12) as standalone SVG files, from either a flushed
-// telemetry directory or a live -serve endpoint.
+// telemetry directory or a live -serve endpoint. The SVG renderer itself
+// lives in internal/plot, shared with the live dashboard.
 //
 // Usage:
 //
@@ -10,9 +11,16 @@
 //	congaplot -url http://localhost:8080 -run fct -series 'dre\.' -out dre.svg
 //	congaplot -dir out/tel -list
 //
+//	congasim -scheme conga -cdfout out/cdf
+//	congaplot -cdf -dir out/cdf -series imbalance -out imbalance.svg
+//
 // The chart is a single-axis line chart: all selected series must share a
 // unit (mixing units would need a second y-axis, which congaplot refuses
-// by design — run it twice and get two figures instead).
+// by design — run it twice and get two figures instead). With -cdf the
+// inputs are cdf_*.csv distribution files (value,fraction rows from
+// congasim -cdfout) and the y axis is the fixed [0,1] cumulative fraction
+// — the form of the paper's Figure 12 (throughput imbalance) and 11b
+// (hotspot queue depth).
 package main
 
 import (
@@ -28,18 +36,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-)
 
-// series is one named line on the chart.
-type series struct {
-	Name   string
-	Unit   string
-	Points [][2]float64 // (time_ns, value)
-}
+	"conga/internal/plot"
+)
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "telemetry directory flushed by a -telemetry run (reads series_*.ndjson, falling back to series_*.csv)")
+		dir     = flag.String("dir", "", "telemetry directory flushed by a -telemetry run (reads series_*.ndjson, falling back to series_*.csv); with -cdf, a directory of cdf_*.csv files")
 		liveURL = flag.String("url", "", "base URL of a live -serve endpoint (e.g. http://localhost:8080) instead of -dir")
 		run     = flag.String("run", "", "run name on the live endpoint (default: first attached run)")
 		sel     = flag.String("series", ".", "regexp selecting which series to plot, matched against probe names")
@@ -48,25 +51,35 @@ func main() {
 		width   = flag.Int("width", 860, "SVG width in px")
 		height  = flag.Int("height", 440, "SVG height in px")
 		list    = flag.Bool("list", false, "list available series names and exit")
-		tMin    = flag.Duration("tmin", 0, "clip points before this sim time")
-		tMax    = flag.Duration("tmax", 0, "clip points after this sim time (0 = no clip)")
+		cdf     = flag.Bool("cdf", false, "CDF input mode: read cdf_*.csv distribution files (value,fraction) and plot cumulative fraction on a [0,1] axis")
+		tMin    = flag.Duration("tmin", 0, "clip points before this sim time (time-series mode only)")
+		tMax    = flag.Duration("tmax", 0, "clip points after this sim time (0 = no clip; time-series mode only)")
 	)
 	flag.Parse()
 
 	if (*dir == "") == (*liveURL == "") {
 		die(fmt.Errorf("exactly one of -dir or -url is required"))
 	}
+	if *cdf && *liveURL != "" {
+		die(fmt.Errorf("-cdf reads distribution files; use it with -dir"))
+	}
 	re, err := regexp.Compile(*sel)
 	die(err)
 
-	var all []series
-	if *dir != "" {
+	var all []plot.Series
+	switch {
+	case *cdf:
+		all, err = loadCDFDir(*dir)
+	case *dir != "":
 		all, err = loadDir(*dir)
-	} else {
+	default:
 		all, err = loadURL(*liveURL, *run)
 	}
 	die(err)
 	if len(all) == 0 {
+		if *cdf {
+			die(fmt.Errorf("no cdf_*.csv files found (generate them with congasim -cdfout)"))
+		}
 		die(fmt.Errorf("no series found (is this a telemetry directory with series enabled?)"))
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
@@ -78,9 +91,11 @@ func main() {
 		return
 	}
 
-	var picked []series
+	var picked []plot.Series
 	for _, s := range all {
-		s.Points = clipWindow(s.Points, float64(tMin.Nanoseconds()), float64(tMax.Nanoseconds()))
+		if !*cdf {
+			s.Points = clipWindow(s.Points, float64(tMin.Nanoseconds()), float64(tMax.Nanoseconds()))
+		}
 		if re.MatchString(s.Name) && len(s.Points) > 0 {
 			picked = append(picked, s)
 		}
@@ -89,7 +104,7 @@ func main() {
 		die(fmt.Errorf("no series match %q (use -list to see names)", *sel))
 	}
 
-	// One axis: refuse mixed units rather than inventing a second y-scale.
+	// One axis: refuse mixed units rather than inventing a second scale.
 	units := map[string]bool{}
 	for _, s := range picked {
 		units[s.Unit] = true
@@ -108,18 +123,25 @@ func main() {
 	// unreadable anyway. Keep the first 8 in name order and say so on the
 	// figure — never drop series silently.
 	dropped := 0
-	if len(picked) > maxSeries {
-		dropped = len(picked) - maxSeries
-		picked = picked[:maxSeries]
+	if len(picked) > plot.MaxSeries {
+		dropped = len(picked) - plot.MaxSeries
+		picked = picked[:plot.MaxSeries]
 	}
 
 	t := *title
 	if t == "" {
 		t = defaultTitle(picked)
+		if *cdf {
+			t += " CDF"
+		}
 	}
-	svg := render(picked, chartSpec{
-		Title: t, Width: *width, Height: *height, Dropped: dropped,
-	})
+	spec := plot.Spec{Title: t, Width: *width, Height: *height, Dropped: dropped}
+	var svg string
+	if *cdf {
+		svg = plot.CDF(picked, spec)
+	} else {
+		svg = plot.Line(picked, spec)
+	}
 	die(os.WriteFile(*out, []byte(svg), 0o644))
 	fmt.Printf("congaplot: wrote %s (%d series", *out, len(picked))
 	if dropped > 0 {
@@ -144,7 +166,7 @@ func clipWindow(pts [][2]float64, tMin, tMax float64) [][2]float64 {
 
 // defaultTitle derives a figure title from the common prefix of the
 // selected probe names ("queue.l0->s0.0, ..." → "queue").
-func defaultTitle(picked []series) string {
+func defaultTitle(picked []plot.Series) string {
 	prefix := picked[0].Name
 	for _, s := range picked[1:] {
 		for !strings.HasPrefix(s.Name, prefix) && prefix != "" {
@@ -160,14 +182,15 @@ func defaultTitle(picked []series) string {
 
 // loadDir reads series from a flushed telemetry directory, preferring the
 // NDJSON files (they carry probe name and unit inline) and falling back to
-// CSV (probe name reconstructed from the filename, unit unknown).
-func loadDir(dir string) ([]series, error) {
+// CSV (probe name reconstructed from the filename, unit from the "# unit="
+// comment when present).
+func loadDir(dir string) ([]plot.Series, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "series_*.ndjson"))
 	if err != nil {
 		return nil, err
 	}
 	if len(paths) > 0 {
-		var out []series
+		var out []plot.Series
 		for _, p := range paths {
 			s, err := loadNDJSON(p)
 			if err != nil {
@@ -181,9 +204,9 @@ func loadDir(dir string) ([]series, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []series
+	var out []plot.Series
 	for _, p := range paths {
-		s, err := loadCSV(p)
+		s, err := loadCSV(p, "series_")
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p, err)
 		}
@@ -192,12 +215,30 @@ func loadDir(dir string) ([]series, error) {
 	return out, nil
 }
 
-func loadNDJSON(path string) (series, error) {
+// loadCDFDir reads the cdf_*.csv distribution files congasim -cdfout
+// writes: a "# unit=..." comment, a value,fraction header, then rows.
+func loadCDFDir(dir string) ([]plot.Series, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "cdf_*.csv"))
+	if err != nil {
+		return nil, err
+	}
+	var out []plot.Series
+	for _, p := range paths {
+		s, err := loadCSV(p, "cdf_")
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func loadNDJSON(path string) (plot.Series, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return series{}, err
+		return plot.Series{}, err
 	}
-	s := series{Name: seriesNameFromFile(path, ".ndjson")}
+	s := plot.Series{Name: seriesNameFromFile(path, "series_", ".ndjson")}
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -210,7 +251,7 @@ func loadNDJSON(path string) (series, error) {
 			Value  float64 `json:"value"`
 		}
 		if err := json.Unmarshal([]byte(line), &row); err != nil {
-			return series{}, err
+			return plot.Series{}, err
 		}
 		if row.Probe != "" {
 			s.Name = row.Probe
@@ -223,39 +264,48 @@ func loadNDJSON(path string) (series, error) {
 	return s, nil
 }
 
-func loadCSV(path string) (series, error) {
+// loadCSV reads a two-column CSV (time_ns,value or value,fraction),
+// skipping the header row and "#" comment lines; a "# unit=..." comment
+// sets the series unit.
+func loadCSV(path, prefix string) (plot.Series, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return series{}, err
+		return plot.Series{}, err
 	}
-	s := series{Name: seriesNameFromFile(path, ".csv")}
-	for i, line := range strings.Split(string(data), "\n") {
+	s := plot.Series{Name: seriesNameFromFile(path, prefix, ".csv")}
+	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
-		if line == "" || (i == 0 && strings.HasPrefix(line, "time_ns")) {
+		switch {
+		case line == "", strings.HasPrefix(line, "time_ns"), strings.HasPrefix(line, "value"):
+			continue
+		case strings.HasPrefix(line, "#"):
+			if u, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(line, "#")), "unit="); ok {
+				s.Unit = u
+			}
 			continue
 		}
-		tStr, vStr, ok := strings.Cut(line, ",")
+		aStr, bStr, ok := strings.Cut(line, ",")
 		if !ok {
 			continue
 		}
-		t, err1 := strconv.ParseFloat(tStr, 64)
-		v, err2 := strconv.ParseFloat(vStr, 64)
+		a, err1 := strconv.ParseFloat(aStr, 64)
+		b, err2 := strconv.ParseFloat(bStr, 64)
 		if err1 != nil || err2 != nil {
-			return series{}, fmt.Errorf("bad row %q", line)
+			return plot.Series{}, fmt.Errorf("bad row %q", line)
 		}
-		s.Points = append(s.Points, [2]float64{t, v})
+		s.Points = append(s.Points, [2]float64{a, b})
 	}
 	return s, nil
 }
 
-func seriesNameFromFile(path, ext string) string {
+func seriesNameFromFile(path, prefix, ext string) string {
 	base := strings.TrimSuffix(filepath.Base(path), ext)
-	return strings.TrimPrefix(base, "series_")
+	return strings.TrimPrefix(base, prefix)
 }
 
 // loadURL reads series from a live -serve endpoint: /series for the name
 // index, then /series/<name> for each.
-func loadURL(base, run string) ([]series, error) {
+func loadURL(base, run string) ([]plot.Series, error) {
 	base = strings.TrimRight(base, "/")
 	q := ""
 	if run != "" {
@@ -267,7 +317,7 @@ func loadURL(base, run string) ([]series, error) {
 	if err := getJSON(base+"/series"+q, &index); err != nil {
 		return nil, err
 	}
-	var out []series
+	var out []plot.Series
 	for _, name := range index.Series {
 		var sj struct {
 			Probe  string   `json:"probe"`
@@ -277,7 +327,7 @@ func loadURL(base, run string) ([]series, error) {
 		if err := getJSON(base+"/series/"+url.PathEscape(name)+q, &sj); err != nil {
 			return nil, err
 		}
-		s := series{Name: sj.Probe, Unit: sj.Unit}
+		s := plot.Series{Name: sj.Probe, Unit: sj.Unit}
 		for _, p := range sj.Points {
 			t, okT := asFloat(p[0])
 			v, okV := asFloat(p[1])

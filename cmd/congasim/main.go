@@ -10,12 +10,15 @@
 //	congasim -scheme mptcp -fail 1,1,1          # MPTCP with a failed link
 //	congasim -mode incast -fanout 32 -minrto 1ms
 //	congasim -mode fig2 -scheme local
+//	congasim -scheme ecmp -record run.trace.gz       # capture the workload
+//	congasim -scheme conga -replay run.trace.gz      # re-inject it elsewhere
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	conga "conga"
+	"conga/internal/replay"
 	"conga/internal/telemetry"
 )
 
@@ -52,6 +56,10 @@ func main() {
 
 		fanout = flag.Int("fanout", 16, "incast fan-in (incast mode)")
 		reqMB  = flag.Int("reqmb", 10, "incast request size in MB")
+
+		recordPath = flag.String("record", "", "record the flow-arrival sequence to this trace file (.gz = compact binary, else NDJSON)")
+		replayPath = flag.String("replay", "", "replay a recorded trace instead of generating a workload (fct mode; scheme/transport/failures may differ from the recording)")
+		cdfOut     = flag.String("cdfout", "", "write collected CDFs (-imbalance, -queues) as value,fraction CSVs into this directory (congaplot -cdf renders them)")
 
 		telemetryDir  = flag.String("telemetry", "", "enable telemetry and write one CSV + NDJSON file per probe into this directory")
 		telemetryFlow = flag.Int64("telemetry-flow", -1, "restrict the packet trace to this flow ID (-1 = all flows)")
@@ -136,35 +144,49 @@ func main() {
 	case "fct":
 		w, err := parseWorkload(*workload)
 		die(err)
-		res, err := conga.RunFCT(conga.FCTConfig{
+		cfg := conga.FCTConfig{
 			Topology: topo, Scheme: sch, Workload: w, Load: *load,
 			Transport: tc, Duration: *duration, MaxFlows: *maxFlows, Seed: *seed,
 			CollectImbalance: *imbalance, CollectQueues: *queues,
 			Telemetry: tel, Parallel: *parallel,
-		})
+			Record: *recordPath != "",
+		}
+		if *replayPath != "" {
+			tr, err := replay.Read(*replayPath)
+			die(err)
+			cfg.Replay = tr
+			h := tr.Header
+			fmt.Printf("replaying %s: %d flows (%.1f MB) recorded under %s/%s load %.0f%% on %s\n",
+				*replayPath, h.Flows, float64(h.Bytes)/1e6, h.Scheme, h.Workload, h.Load*100, h.Topo)
+		}
+		res, err := conga.RunFCT(cfg)
 		die(err)
 		printFCT(res)
 		printTelemetry(res.Telemetry, *telemetryDir)
+		writeTrace(*recordPath, res.Trace)
+		writeCDFs(*cdfOut, res)
 	case "incast":
 		res, err := conga.RunIncast(conga.IncastConfig{
 			Topology: topo, Scheme: sch, Transport: tc,
 			Fanout: *fanout, RequestBytes: int64(*reqMB) << 20, Seed: *seed,
-			Telemetry: tel,
+			Telemetry: tel, Record: *recordPath != "",
 		})
 		die(err)
 		fmt.Printf("fanout %d: goodput %.1f%% of access rate, %d rounds, %d drops at client port, %d RTOs\n",
 			res.Fanout, res.GoodputFraction*100, res.CompletedRounds, res.Drops, res.Timeouts)
 		printTelemetry(res.Telemetry, *telemetryDir)
+		writeTrace(*recordPath, res.Trace)
 	case "hdfs":
 		res, err := conga.RunHDFS(conga.HDFSConfig{
 			Topology: topo, Scheme: sch, Transport: tc,
 			BackgroundLoad: *load, Seed: *seed,
-			Telemetry: tel,
+			Telemetry: tel, Record: *recordPath != "",
 		})
 		die(err)
 		fmt.Printf("job completion %.2fs (completed=%v), %d blocks, %d MB replicated, %d background flows\n",
 			res.JobCompletion.Seconds(), res.Completed, res.Blocks, res.ReplicaBytes>>20, res.BackgroundFlows)
 		printTelemetry(res.Telemetry, *telemetryDir)
+		writeTrace(*recordPath, res.Trace)
 	case "fig2":
 		res, err := conga.RunFigure2(sch, *seed)
 		die(err)
@@ -206,6 +228,66 @@ func printFCT(r *conga.FCTResult) {
 		fmt.Printf("hotspot queue: max %.2f MB\n", maxq/1e6)
 	}
 	fmt.Printf("cost: %v simulated, %d events\n", r.SimTime, r.Events)
+}
+
+// writeTrace stores a recorded arrival trace (no-op when recording was
+// off or the harness had nothing to record).
+func writeTrace(path string, tr *replay.Trace) {
+	if path == "" {
+		return
+	}
+	if tr == nil {
+		fmt.Println("record: nothing recorded (mode records no arrivals)")
+		return
+	}
+	die(tr.Write(path))
+	fmt.Printf("recorded %d flows (%.1f MB offered) to %s\n",
+		tr.Header.Flows, float64(tr.Header.Bytes)/1e6, path)
+}
+
+// writeCDFs emits the run's collected CDFs as value,fraction CSVs that
+// congaplot -cdf renders (paper Figures 12 and 11b).
+func writeCDFs(dir string, r *conga.FCTResult) {
+	if dir == "" {
+		return
+	}
+	if r.ImbalanceCDF == nil && r.HotspotQueueCDF == nil {
+		fmt.Println("cdfout: no CDFs collected (pass -imbalance and/or -queues)")
+		return
+	}
+	die(os.MkdirAll(dir, 0o755))
+	write := func(name, unit string, cdf conga.CDF) {
+		if cdf == nil {
+			return
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		die(err)
+		fmt.Fprintf(f, "# unit=%s\n", unit)
+		fmt.Fprintln(f, "value,fraction")
+		for _, p := range cdf {
+			fmt.Fprintf(f, "%g,%g\n", p[0], p[1])
+		}
+		die(f.Close())
+		fmt.Printf("cdfout: wrote %s\n", filepath.Join(dir, name))
+	}
+	write("cdf_imbalance.csv", "ratio", r.ImbalanceCDF)
+	write("cdf_queue_hotspot.csv", "bytes", r.HotspotQueueCDF)
+	for name, cdf := range r.QueueCDFs {
+		write("cdf_queue_"+sanitize(name)+".csv", "bytes", cdf)
+	}
+}
+
+// sanitize mirrors the telemetry sinks' filename rules.
+func sanitize(name string) string {
+	name = strings.ReplaceAll(name, "->", "-")
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, name)
 }
 
 func printTelemetry(reg *conga.TelemetryRegistry, dir string) {

@@ -4,15 +4,20 @@
 // different inactivity gaps, plus the concurrent-flowlet census that sizes
 // the ASIC's flowlet table.
 //
-// A second mode reads back a packet trace flushed by the telemetry
-// subsystem (trace.csv or trace.ndjson from a -telemetry run) and prints
-// its capture policy — mode, trigger, how many events were suppressed by
-// the flight-recorder ring or reservoir — plus a per-event-kind summary.
+// A second mode reads back a trace file and prints a summary. For a
+// packet trace flushed by the telemetry subsystem (trace.csv or
+// trace.ndjson from a -telemetry run) it prints the capture policy —
+// mode, trigger, how many events were suppressed by the flight-recorder
+// ring or reservoir — plus a per-event-kind summary. For a workload
+// replay trace (congasim -record, either NDJSON or gzip'd binary) it
+// prints the header — format version, recording provenance, topology
+// fingerprint, flow count — and the arrival mix.
 //
 // Usage:
 //
 //	congatrace [-flows 5000] [-workload enterprise] [-rate 10] [-burst 65536]
 //	congatrace -read out/telemetry/trace.csv
+//	congatrace -read run.trace.gz
 package main
 
 import (
@@ -35,7 +40,7 @@ func main() {
 		burst    = flag.Int64("burst", 64<<10, "NIC offload burst size in bytes")
 		window   = flag.Duration("window", 50*time.Millisecond, "flow arrival window")
 		seed     = flag.Uint64("seed", 1, "random seed")
-		read     = flag.String("read", "", "read back a flushed packet trace (trace.csv or trace.ndjson) instead of generating one")
+		read     = flag.String("read", "", "read back a trace file (telemetry trace.csv/trace.ndjson, or a workload replay trace) instead of generating one")
 	)
 	flag.Parse()
 

@@ -9,14 +9,21 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"conga/internal/replay"
 )
 
-// readTrace prints the capture policy and an event summary for a packet
-// trace flushed by internal/telemetry: trace.csv (header comment line
-// "# capture=... cap=... suppressed=...") or trace.ndjson (leading
-// {"capture":{...}} meta object). Older files without the header still
-// summarize; the capture section just reports "unknown (no capture header)".
+// readTrace prints a summary of any trace file this repo produces: a
+// workload replay trace (internal/replay, either format — header with
+// version, fingerprint and flow count), or a packet trace flushed by
+// internal/telemetry: trace.csv (header comment line "# capture=...
+// cap=... suppressed=...") or trace.ndjson (leading {"capture":{...}}
+// meta object). Older files without the header still summarize; the
+// capture section just reports "unknown (no capture header)".
 func readTrace(path string) error {
+	if replay.IsTraceFile(path) {
+		return readReplayTrace(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -29,11 +36,60 @@ func readTrace(path string) error {
 	return readCSV(path, f)
 }
 
+// readReplayTrace summarizes a workload replay trace: provenance header,
+// compatibility fingerprint, and the arrival mix.
+func readReplayTrace(path string) error {
+	tr, err := replay.Read(path)
+	if err != nil {
+		return err
+	}
+	h := tr.Header
+	fmt.Printf("replay trace: %s (format version %d)\n", path, h.Version)
+	fmt.Printf("recorded by: %s harness, scheme %s, workload %s, load %.0f%%, seed %d\n",
+		h.Harness, h.Scheme, h.Workload, h.Load*100, h.Seed)
+	fmt.Printf("topology: %s (fingerprint %016x — replay requires this fabric shape)\n", h.Topo, h.TopoFP)
+	fmt.Printf("flows: %d arrivals, %.1f MB offered, spanning %v of a %v window\n",
+		h.Flows, float64(h.Bytes)/1e6, time.Duration(h.SpanNs), time.Duration(h.DurationNs))
+	if len(tr.Flows) == 0 {
+		return nil
+	}
+	kinds := map[string]int{}
+	kindBytes := map[string]int64{}
+	var minSize, maxSize int64
+	minSize = tr.Flows[0].Size
+	for _, f := range tr.Flows {
+		kinds[f.Kind]++
+		kindBytes[f.Kind] += f.Size
+		if f.Size < minSize {
+			minSize = f.Size
+		}
+		if f.Size > maxSize {
+			maxSize = f.Size
+		}
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		name := k
+		if name == "" {
+			name = "(untagged)"
+		}
+		fmt.Printf("  %-12s %8d arrivals, %10.1f MB\n", name, kinds[k], float64(kindBytes[k])/1e6)
+	}
+	fmt.Printf("sizes: %d B .. %.1f MB, mean %.1f KB\n",
+		minSize, float64(maxSize)/1e6, float64(h.Bytes)/float64(h.Flows)/1e3)
+	return nil
+}
+
 // capture is the policy block both formats carry. Fields mirror
 // telemetry.CaptureInfo but are parsed from the file so the reader works
 // on traces produced by other builds.
 type capture struct {
 	present    bool
+	provenance string
 	Mode       string `json:"mode"`
 	Cap        int64  `json:"cap"`
 	Recorded   int64  `json:"recorded"`
@@ -82,6 +138,9 @@ func readCSV(path string, f *os.File) error {
 		line := strings.TrimSpace(sc.Text())
 		switch {
 		case line == "" || strings.HasPrefix(line, "time_ns,"):
+			continue
+		case strings.HasPrefix(line, "# provenance="):
+			cap.provenance = strings.TrimPrefix(line, "# provenance=")
 			continue
 		case strings.HasPrefix(line, "#"):
 			parseCaptureComment(line, &cap)
@@ -153,6 +212,15 @@ func readNDJSON(path string, f *os.File) error {
 		if line == "" {
 			continue
 		}
+		if strings.HasPrefix(line, `{"provenance":`) {
+			var meta struct {
+				Provenance string `json:"provenance"`
+			}
+			if err := json.Unmarshal([]byte(line), &meta); err == nil {
+				cap.provenance = meta.Provenance
+			}
+			continue
+		}
 		if strings.HasPrefix(line, `{"capture":`) {
 			var meta struct {
 				Capture capture `json:"capture"`
@@ -182,6 +250,9 @@ func readNDJSON(path string, f *os.File) error {
 
 func printTraceReport(path string, c capture, sum *eventSummary) {
 	fmt.Printf("trace: %s\n", path)
+	if c.provenance != "" {
+		fmt.Printf("provenance: %s\n", c.provenance)
+	}
 	if !c.present {
 		fmt.Println("capture: unknown (no capture header; pre-policy trace, assumed keep-head)")
 	} else {

@@ -2,11 +2,13 @@ package conga
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"conga/internal/core"
 	"conga/internal/fabric"
 	"conga/internal/mptcp"
+	"conga/internal/replay"
 	"conga/internal/sim"
 	"conga/internal/stats"
 	"conga/internal/tcp"
@@ -98,6 +100,26 @@ type FCTConfig struct {
 
 	WCMPWeights []float64
 
+	// Record, when true, captures the exact flow-arrival sequence of this
+	// run; the sealed trace comes back in FCTResult.Trace, ready for
+	// Trace.Write and later replay. Recording observes arrivals as they
+	// are drawn and never changes simulation outcomes.
+	Record bool
+	// Replay, when non-nil, re-injects this recorded arrival sequence
+	// instead of drawing a live Poisson workload: Load, Workload, Custom,
+	// MaxFlows and the workload seed are ignored, and Duration is taken
+	// from the trace header so the run horizon matches the recording.
+	// The trace must have been recorded on the same fabric shape
+	// (topology fingerprints are compared; mismatches are refused), but
+	// scheme, transport, link failures and buffer sizing are free to
+	// differ — that is the point. Replaying into the identical
+	// scheme/config reproduces the recording run bit-identically.
+	Replay *replay.Trace
+	// CollectFlows keeps every completed flow's (ID, size, FCT) in
+	// FCTResult.FlowFCTs, sorted by flow ID — the raw material for
+	// matched-pairs comparison (stats.PairedSample, RunReplayCompare).
+	CollectFlows bool
+
 	// Parallel, when > 1, runs this single experiment space-parallel: the
 	// fabric is partitioned into Parallel domains (one engine and worker
 	// goroutine each; see internal/fabric/partition.go) executed in bounded
@@ -135,6 +157,15 @@ func (c FCTConfig) withDefaults() FCTConfig {
 
 // CDF is a list of (value, cumulative-fraction) points.
 type CDF = [][2]float64
+
+// FlowFCT is one completed flow's identity and outcome, collected when
+// FCTConfig.CollectFlows is set. Matching slices from two runs of the same
+// trace pair one-to-one by ID.
+type FlowFCT struct {
+	ID   uint64
+	Size int64
+	FCT  time.Duration
+}
 
 // FCTResult carries the statistics of one experiment run.
 type FCTResult struct {
@@ -188,6 +219,12 @@ type FCTResult struct {
 	// Telemetry is the run's populated registry when FCTConfig.Telemetry
 	// was set (already collected and flushed), nil otherwise.
 	Telemetry *TelemetryRegistry
+
+	// Trace is the sealed arrival recording when FCTConfig.Record was set.
+	Trace *replay.Trace
+	// FlowFCTs lists completed flows sorted by ID when
+	// FCTConfig.CollectFlows was set.
+	FlowFCTs []FlowFCT
 }
 
 // OptimalFCT returns the idle-network completion time used for
@@ -228,6 +265,11 @@ func OptimalFCT(t Topology, transport TransportConfig, size int64) time.Duration
 // executes on the single sequential engine below.
 func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Replay != nil && cfg.Replay.Header.DurationNs > 0 {
+		// The replayed horizon is the recording's, not the caller's: an
+		// arrival window shorter than the trace span would truncate it.
+		cfg.Duration = time.Duration(cfg.Replay.Header.DurationNs)
+	}
 	if cfg.Parallel > 1 {
 		return runFCTParallel(cfg)
 	}
@@ -282,20 +324,28 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	// simulation event.
 	pool := tcp.NewFlowPool()
 	mpool := mptcp.NewPool()
+	var flowLog []FlowFCT
 	tcpDone := func(f *tcp.Flow, now sim.Time) {
 		opt := sim.Duration(OptimalFCT(cfg.Topology, cfg.Transport, f.Size))
 		rec.Record(f.Size, f.FCT(now), opt)
 		st := f.Sender.Stats()
 		retx += st.RetxSegments
 		timeouts += st.Timeouts
+		if cfg.CollectFlows {
+			flowLog = append(flowLog, FlowFCT{ID: f.Sender.FlowID(), Size: f.Size, FCT: time.Duration(f.FCT(now))})
+		}
 	}
 	mptcpDone := func(f *mptcp.Flow, now sim.Time) {
 		opt := sim.Duration(OptimalFCT(cfg.Topology, cfg.Transport, f.Size))
 		rec.Record(f.Size, f.FCT(now), opt)
-		for _, s := range f.Conn.Subflows() {
+		subs := f.Conn.Subflows()
+		for _, s := range subs {
 			st := s.Stats()
 			retx += st.RetxSegments
 			timeouts += st.Timeouts
+		}
+		if cfg.CollectFlows {
+			flowLog = append(flowLog, FlowFCT{ID: subs[0].FlowID(), Size: f.Size, FCT: time.Duration(f.FCT(now))})
 		}
 	}
 	starter := func(src, dst *fabric.Host, id uint64, size int64) {
@@ -307,17 +357,53 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		}
 	}
 
-	gen, err := workload.NewGenerator(eng, net, workload.GenConfig{
-		Load:          cfg.Load,
-		Dist:          dist,
-		Duration:      sim.Duration(cfg.Duration),
-		MaxFlows:      cfg.MaxFlows,
-		InterLeafOnly: true,
-		Stride:        stride,
-		Seed:          cfg.Seed,
-	}, starter)
-	if err != nil {
-		return nil, err
+	// The workload source is either a live Poisson generator or a replay
+	// injector; both schedule one engine event per arrival whose body
+	// starts the flow and then schedules the next arrival, so a replayed
+	// run creates events in the identical order its recording did.
+	var traceRec *replay.Recorder
+	if cfg.Record {
+		traceRec = &replay.Recorder{Header: cfg.traceHeader(dist.Name())}
+	}
+	var startSource func()
+	var generated func() int
+	if cfg.Replay != nil {
+		if err := cfg.checkReplay(); err != nil {
+			return nil, err
+		}
+		var obs func(replay.Flow)
+		if traceRec != nil {
+			// Re-recording a replay preserves the original workload
+			// provenance; only scheme/seed describe the current run.
+			traceRec.Header.Workload = cfg.Replay.Header.Workload
+			traceRec.Header.Load = cfg.Replay.Header.Load
+			obs = func(f replay.Flow) { traceRec.Add(f) }
+		}
+		inj := newReplayInjector(eng, net, cfg.Replay.Flows, starter, obs)
+		startSource = inj.Start
+		generated = func() int { return inj.Generated }
+	} else {
+		var observe func(workload.Arrival)
+		if traceRec != nil {
+			observe = func(a workload.Arrival) {
+				traceRec.Add(replay.Flow{At: a.At, Src: a.Src, Dst: a.Dst, FlowID: a.FlowID, Size: a.Size, Kind: replay.KindWorkload})
+			}
+		}
+		gen, err := workload.NewGenerator(eng, net, workload.GenConfig{
+			Load:          cfg.Load,
+			Dist:          dist,
+			Duration:      sim.Duration(cfg.Duration),
+			MaxFlows:      cfg.MaxFlows,
+			InterLeafOnly: true,
+			Stride:        stride,
+			Seed:          cfg.Seed,
+			Observe:       observe,
+		}, starter)
+		if err != nil {
+			return nil, err
+		}
+		startSource = gen.Start
+		generated = func() int { return gen.Generated }
 	}
 
 	// The samplers tick at fixed periods over a known horizon, so their
@@ -358,20 +444,20 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	// plain reads need no synchronization.
 	reg.SetProgress(func() telemetry.Progress {
 		return telemetry.Progress{
-			FlowsGenerated: gen.Generated,
+			FlowsGenerated: generated(),
 			FlowsCompleted: rec.Flows,
 			Events:         eng.Executed(),
 		}
 	})
 
-	gen.Start()
+	startSource()
 	eng.Run(sim.Duration(cfg.Duration) + sim.Duration(cfg.DrainTimeout))
 
 	res := &FCTResult{
 		Scheme:         SchemeName(cfg.Scheme),
 		Workload:       dist.Name(),
 		Load:           cfg.Load,
-		Generated:      gen.Generated,
+		Generated:      generated(),
 		Completed:      rec.Flows,
 		AvgFCT:         time.Duration(rec.Overall.Mean() * 1e9),
 		P99FCT:         time.Duration(rec.Overall.Quantile(0.99) * 1e9),
@@ -388,12 +474,26 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		Events:         eng.Executed(),
 	}
 	if reg != nil {
+		// Stamp trace ancestry into the sink headers: flushed telemetry
+		// from a replayed (or recording) run names the workload behind it.
+		if cfg.Replay != nil {
+			reg.SetProvenance(traceProvenance("replay", cfg.Replay.Header))
+		} else if traceRec != nil {
+			reg.SetProvenance(traceProvenance("record", traceRec.Trace().Header))
+		}
 		reg.Collect()
 		reg.FinishTap(eng.Now())
 		if err := reg.Flush(); err != nil {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}
 		res.Telemetry = reg
+	}
+	if traceRec != nil {
+		res.Trace = traceRec.Trace()
+	}
+	if cfg.CollectFlows {
+		sort.Slice(flowLog, func(i, j int) bool { return flowLog[i].ID < flowLog[j].ID })
+		res.FlowFCTs = flowLog
 	}
 	if imb != nil {
 		res.ImbalanceCDF = imb.Values.CDF()

@@ -7,6 +7,7 @@ import (
 	"conga/internal/fabric"
 	"conga/internal/hdfs"
 	"conga/internal/mptcp"
+	"conga/internal/replay"
 	"conga/internal/sim"
 	"conga/internal/stats"
 	"conga/internal/tcp"
@@ -45,6 +46,12 @@ type HDFSConfig struct {
 	// HDFSResult.BackgroundFCTMean/P99. Off by default: background flows
 	// are load, not measurement.
 	SampleCap int
+
+	// Record, when true, captures the background workload's arrival
+	// sequence (kind "workload") in HDFSResult.Trace. The replicated-write
+	// job itself is closed-loop (block pipelines chain on completion), so
+	// only the open-loop background traffic records.
+	Record bool
 
 	Seed uint64
 }
@@ -96,6 +103,10 @@ type HDFSResult struct {
 
 	// Telemetry is the run's populated registry when requested.
 	Telemetry *TelemetryRegistry
+
+	// Trace is the recorded background arrival sequence when
+	// HDFSConfig.Record was set (nil when BackgroundLoad is 0).
+	Trace *replay.Trace
 }
 
 // RunHDFS executes one Figure 14 trial.
@@ -133,6 +144,7 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 	pool := tcp.NewFlowPool()
 	mpool := mptcp.NewPool()
 	var gen *workload.Generator
+	var traceRec *replay.Recorder
 	if cfg.BackgroundLoad > 0 {
 		record := func(fct sim.Time) {
 			bgDone++
@@ -149,6 +161,19 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 				pool.StartFlow(eng, src, dst, id, size, tcpCfg, tcpDone)
 			}
 		}
+		var observe func(workload.Arrival)
+		if cfg.Record {
+			desc := cfg.Topology.fingerprintDesc()
+			traceRec = &replay.Recorder{Header: replay.Header{
+				Harness: "hdfs", Scheme: SchemeName(cfg.Scheme),
+				Workload: workload.Enterprise().Name(), Load: cfg.BackgroundLoad,
+				Seed: cfg.Seed + 99, TopoFP: replay.Fingerprint(desc), Topo: desc,
+				DurationNs: int64(cfg.Timeout),
+			}}
+			observe = func(a workload.Arrival) {
+				traceRec.Add(replay.Flow{At: a.At, Src: a.Src, Dst: a.Dst, FlowID: a.FlowID, Size: a.Size, Kind: replay.KindWorkload})
+			}
+		}
 		gen, err = workload.NewGenerator(eng, net, workload.GenConfig{
 			Load:          cfg.BackgroundLoad,
 			Dist:          workload.Enterprise(),
@@ -156,6 +181,7 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 			InterLeafOnly: true,
 			Stride:        uint64(cfg.Transport.Subflows),
 			Seed:          cfg.Seed + 99,
+			Observe:       observe,
 		}, starter)
 		if err != nil {
 			return nil, err
@@ -219,6 +245,9 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}
 		res.Telemetry = reg
+	}
+	if traceRec != nil {
+		res.Trace = traceRec.Trace()
 	}
 	return res, nil
 }

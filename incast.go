@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"conga/internal/mptcp"
+	"conga/internal/replay"
 	"conga/internal/sim"
 	"conga/internal/stats"
 	"conga/internal/tcp"
@@ -35,6 +36,13 @@ type IncastConfig struct {
 	// SampleCap, when > 0, bounds the per-round completion-time sample via
 	// reservoir sampling (see FCTConfig.SampleCap); means stay exact.
 	SampleCap int
+
+	// Record, when true, captures every round's per-server transfer as an
+	// arrival (kind "incast") in IncastResult.Trace. Incast is closed-loop
+	// — each round starts when the previous one completes — so the trace
+	// documents the offered sequence for provenance and analysis; replay
+	// is through the open-loop FCT harness.
+	Record bool
 
 	Seed uint64
 }
@@ -81,6 +89,10 @@ type IncastResult struct {
 
 	// Telemetry is the run's populated registry when requested.
 	Telemetry *TelemetryRegistry
+
+	// Trace is the recorded arrival sequence when IncastConfig.Record was
+	// set.
+	Trace *replay.Trace
 }
 
 // RunIncast executes the Incast micro-benchmark and returns the effective
@@ -170,10 +182,26 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 		}
 	}
 
+	var traceRec *replay.Recorder
+	if cfg.Record {
+		desc := cfg.Topology.fingerprintDesc()
+		traceRec = &replay.Recorder{Header: replay.Header{
+			Harness: "incast", Scheme: SchemeName(cfg.Scheme), Workload: "incast",
+			Seed: cfg.Seed, TopoFP: replay.Fingerprint(desc), Topo: desc,
+			DurationNs: int64(cfg.Timeout),
+		}}
+	}
 	startRound = func(now sim.Time) {
 		roundStart = now
 		remaining = cfg.Fanout
-		for _, sv := range servers {
+		for i, sv := range servers {
+			if traceRec != nil {
+				traceRec.Add(replay.Flow{
+					At: now, Src: i + 1, Dst: client.ID,
+					FlowID: uint64(1000 + i*16), Size: perServer,
+					Kind: replay.KindIncast,
+				})
+			}
 			if sv.mpConn != nil {
 				sv.mpConn.Transfer(perServer, now)
 			} else {
@@ -224,6 +252,9 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}
 		res.Telemetry = reg
+	}
+	if traceRec != nil {
+		res.Trace = traceRec.Trace()
 	}
 	return res, nil
 }

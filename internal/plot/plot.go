@@ -1,4 +1,12 @@
-package main
+// Package plot renders paper-style figures as standalone SVG strings: a
+// single-axis time-series line chart (queue depth over time, DRE register
+// trajectories — the shapes of Figures 4 and 12) and a CDF chart
+// (throughput imbalance, queue-depth distributions — Figures 12 and 11b).
+//
+// The package is shared by the congaplot CLI and the live-telemetry HTML
+// dashboard, so it depends on nothing but the standard library and takes
+// its input as plain [][2]float64 point lists.
+package plot
 
 import (
 	"fmt"
@@ -7,17 +15,34 @@ import (
 	"strings"
 )
 
+// Series is one named line on a chart. For Line, Points are
+// (time_ns, value); for CDF, (value, cumulative fraction in [0,1]).
+type Series struct {
+	Name   string
+	Unit   string
+	Points [][2]float64
+}
+
+// Spec is the chart frame.
+type Spec struct {
+	Title   string
+	Width   int
+	Height  int
+	Dropped int // series cut by the palette cap, shown on the figure
+}
+
 // The categorical palette, assigned to series in fixed name order — a
 // filter that changes which series are selected never repaints the
 // survivors' identity within one invocation, and the hue order itself is
-// never cycled or generated. maxSeries is a hard readability cap; the
+// never cycled or generated. MaxSeries is a hard readability cap; the
 // caller reports how many series were dropped on the figure itself.
 var palette = []string{
 	"#2a78d6", "#eb6834", "#1baf7a", "#eda100",
 	"#e87ba4", "#008300", "#4a3aa7", "#e34948",
 }
 
-const maxSeries = 8 // the palette width
+// MaxSeries is the palette width: the most series one chart will draw.
+const MaxSeries = 8
 
 // Chart ink: text wears text tokens, never series colors.
 const (
@@ -29,15 +54,9 @@ const (
 	maxPoints = 2000 // per-series polyline budget; beyond it, stride-decimate
 )
 
-type chartSpec struct {
-	Title   string
-	Width   int
-	Height  int
-	Dropped int // series cut by the palette cap, shown on the figure
-}
-
-// render draws a single-axis line chart of the series as a standalone SVG.
-func render(list []series, spec chartSpec) string {
+// Line draws a single-axis time-series line chart of the series as a
+// standalone SVG. Points are (time_ns, value); all series share one unit.
+func Line(list []Series, spec Spec) string {
 	// Data extent across every series.
 	tMin, tMax := math.Inf(1), math.Inf(-1)
 	vMin, vMax := math.Inf(1), math.Inf(-1)
@@ -63,6 +82,67 @@ func render(list []series, spec chartSpec) string {
 	vMin, vMax = yTicks[0], yTicks[len(yTicks)-1]
 	xTicks := niceTicks(tMin/tDiv, tMax/tDiv, 6)
 
+	f := frame{
+		spec: spec, list: list,
+		xMin: tMin, xMax: tMax, yMin: vMin, yMax: vMax,
+		xTicks: xTicks, xDiv: tDiv, yTicks: yTicks,
+		xLabel: fmt.Sprintf("sim time (%s)", tUnit),
+		sub:    yAxisLabel(list[0].Unit),
+		yFmt:   fmtVal,
+	}
+	return f.draw()
+}
+
+// CDF draws a cumulative-distribution chart: x is the measured value (in
+// the series' unit), y is the cumulative fraction on a fixed [0,1] axis.
+func CDF(list []Series, spec Spec) string {
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	for _, s := range list {
+		for _, p := range s.Points {
+			xMin, xMax = math.Min(xMin, p[0]), math.Max(xMax, p[0])
+		}
+	}
+	if xMin > 0 && xMin <= (xMax-xMin) {
+		xMin = 0 // anchor at zero when the data starts near it
+	}
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	xTicks := niceTicks(xMin, xMax, 6)
+	xMin, xMax = xTicks[0], xTicks[len(xTicks)-1]
+
+	xLabel := list[0].Unit
+	if xLabel == "" {
+		xLabel = "value"
+	}
+	f := frame{
+		spec: spec, list: list,
+		xMin: xMin, xMax: xMax, yMin: 0, yMax: 1,
+		xTicks: xTicks, xDiv: 1,
+		yTicks: []float64{0, 0.25, 0.5, 0.75, 1},
+		xLabel: xLabel,
+		sub:    "cumulative fraction",
+		yFmt:   func(v float64) string { return trimZero(fmt.Sprintf("%.2f", v)) },
+	}
+	return f.draw()
+}
+
+// frame is the shared chart skeleton: axes, grid, series polylines,
+// legend and direct end-of-line labels. Line and CDF differ only in how
+// they derive the axis extents, tick sets and labels.
+type frame struct {
+	spec                   Spec
+	list                   []Series
+	xMin, xMax, yMin, yMax float64
+	xTicks                 []float64 // in display units (already divided by xDiv)
+	xDiv                   float64   // raw-x per display-x (1e6 for ms, 1 for CDF)
+	yTicks                 []float64
+	xLabel, sub            string
+	yFmt                   func(float64) string
+}
+
+func (f *frame) draw() string {
+	list, spec := f.list, f.spec
 	directLabels := len(list) >= 2 && len(list) <= 4
 	marginL, marginR, marginT, marginB := 64.0, 20.0, 60.0, 44.0
 	if directLabels {
@@ -77,8 +157,8 @@ func render(list []series, spec chartSpec) string {
 	w, h := float64(spec.Width), float64(spec.Height)
 	plotW, plotH := w-marginL-marginR, h-marginT-marginB
 
-	x := func(t float64) float64 { return marginL + (t-tMin)/(tMax-tMin)*plotW }
-	y := func(v float64) float64 { return marginT + (1-(v-vMin)/(vMax-vMin))*plotH }
+	x := func(t float64) float64 { return marginL + (t-f.xMin)/(f.xMax-f.xMin)*plotW }
+	y := func(v float64) float64 { return marginT + (1-(v-f.yMin)/(f.yMax-f.yMin))*plotH }
 
 	var b strings.Builder
 	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, -apple-system, sans-serif">`+"\n",
@@ -89,7 +169,7 @@ func render(list []series, spec chartSpec) string {
 	// a silent cap).
 	fmt.Fprintf(&b, `<text x="%.0f" y="24" font-size="16" font-weight="600" fill="%s">%s</text>`+"\n",
 		marginL, inkText, esc(spec.Title))
-	sub := yAxisLabel(list[0].Unit)
+	sub := f.sub
 	if spec.Dropped > 0 {
 		sub += fmt.Sprintf(" — %d more series not shown (narrow -series)", spec.Dropped)
 	}
@@ -97,25 +177,25 @@ func render(list []series, spec chartSpec) string {
 		marginL, inkMuted, esc(sub))
 
 	// Recessive horizontal grid with y tick labels; one baseline axis.
-	for _, tv := range yTicks {
+	for _, tv := range f.yTicks {
 		yy := y(tv)
 		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
 			marginL, yy, marginL+plotW, yy, inkGrid)
 		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" text-anchor="end">%s</text>`+"\n",
-			marginL-8, yy+4, inkMuted, esc(fmtVal(tv)))
+			marginL-8, yy+4, inkMuted, esc(f.yFmt(tv)))
 	}
 	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
 		marginL, marginT+plotH, marginL+plotW, marginT+plotH, inkAxis)
-	for _, tv := range xTicks {
-		xx := x(tv * tDiv)
+	for _, tv := range f.xTicks {
+		xx := x(tv * f.xDiv)
 		if xx < marginL-0.5 || xx > marginL+plotW+0.5 {
 			continue
 		}
 		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
 			xx, marginT+plotH+18, inkMuted, esc(fmtVal(tv)))
 	}
-	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12" fill="%s" text-anchor="middle">sim time (%s)</text>`+"\n",
-		marginL+plotW/2, h-10, inkMuted, tUnit)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12" fill="%s" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, h-10, inkMuted, esc(f.xLabel))
 
 	// Series lines: 2px, round joins, native <title> tooltips.
 	for i, s := range list {

@@ -1,0 +1,64 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample(name, unit string, pts ...[2]float64) Series {
+	return Series{Name: name, Unit: unit, Points: pts}
+}
+
+func TestLineRendersSeries(t *testing.T) {
+	svg := Line([]Series{
+		sample("queue.l0->s0.0", "bytes", [2]float64{0, 0}, [2]float64{5e6, 3000}, [2]float64{1e7, 1500}),
+		sample("queue.l0->s0.1", "bytes", [2]float64{0, 0}, [2]float64{1e7, 2800}),
+	}, Spec{Title: "queue depth", Width: 640, Height: 320})
+	for _, want := range []string{"<svg", "</svg>", "queue depth", "bytes", "sim time (ms)",
+		"queue.l0-&gt;s0.0", "queue.l0-&gt;s0.1", "<path"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("Line SVG missing %q", want)
+		}
+	}
+	// Two series, two polylines.
+	if got := strings.Count(svg, "<path"); got != 2 {
+		t.Errorf("Line drew %d paths, want 2", got)
+	}
+}
+
+func TestCDFRendersFractionAxis(t *testing.T) {
+	svg := CDF([]Series{
+		sample("imbalance", "ratio", [2]float64{1, 0.1}, [2]float64{1.5, 0.6}, [2]float64{2.4, 1}),
+	}, Spec{Title: "imbalance CDF", Width: 640, Height: 320})
+	for _, want := range []string{"<svg", "imbalance CDF", "cumulative fraction", "ratio",
+		">0.25<", ">0.75<", ">1<"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("CDF SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "sim time") {
+		t.Error("CDF chart labeled its x axis as sim time")
+	}
+}
+
+func TestDroppedNoteIsVisible(t *testing.T) {
+	svg := Line([]Series{sample("a", "bytes", [2]float64{0, 1}, [2]float64{1, 2})},
+		Spec{Title: "t", Width: 400, Height: 200, Dropped: 3})
+	if !strings.Contains(svg, "3 more series not shown") {
+		t.Error("dropped-series note missing from figure")
+	}
+}
+
+func TestDecimateKeepsEndpoints(t *testing.T) {
+	pts := make([][2]float64, 5000)
+	for i := range pts {
+		pts[i] = [2]float64{float64(i), float64(i)}
+	}
+	out := decimate(pts, 100)
+	if len(out) > 101 {
+		t.Fatalf("decimate kept %d points for budget 100", len(out))
+	}
+	if out[0] != pts[0] || out[len(out)-1] != pts[len(pts)-1] {
+		t.Error("decimate lost an endpoint")
+	}
+}

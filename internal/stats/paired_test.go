@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPairedSampleMoments(t *testing.T) {
+	var p PairedSample
+	if p.N() != 0 || p.WinFraction() != 0 || p.DeltaQuantile(0.5) != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	if !math.IsNaN(p.MeanRatio()) {
+		t.Fatal("empty sample mean ratio should be NaN")
+	}
+
+	p.Reserve(4)
+	p.Add(10, 8)  // B wins by 2
+	p.Add(20, 22) // A wins by 2
+	p.Add(30, 15) // B wins by 15
+	p.Add(40, 40) // tie
+	if p.N() != 4 {
+		t.Fatalf("N = %d", p.N())
+	}
+	if got := p.MeanA(); got != 25 {
+		t.Errorf("MeanA = %v", got)
+	}
+	if got := p.MeanB(); got != 21.25 {
+		t.Errorf("MeanB = %v", got)
+	}
+	if got := p.MeanDelta(); got != -3.75 {
+		t.Errorf("MeanDelta = %v", got)
+	}
+	if got := p.MeanRatio(); got != 21.25/25 {
+		t.Errorf("MeanRatio = %v", got)
+	}
+	// Ties are not wins: exactly 2 of 4 pairs have B strictly smaller.
+	if got := p.WinFraction(); got != 0.5 {
+		t.Errorf("WinFraction = %v", got)
+	}
+	// Sorted deltas: -15, -2, 0, 2.
+	if got := p.DeltaQuantile(0.5); got != -2 {
+		t.Errorf("median delta = %v", got)
+	}
+	if got := p.DeltaQuantile(0); got != -15 {
+		t.Errorf("min delta = %v", got)
+	}
+	if got := p.DeltaQuantile(1); got != 2 {
+		t.Errorf("max delta = %v", got)
+	}
+}
+
+func TestPairedBootstrapDeterministicAndSane(t *testing.T) {
+	var p PairedSample
+	// B is consistently ~20% below A with small per-pair jitter, so the
+	// delta CI must sit strictly below zero and bracket the point estimate.
+	for i := 0; i < 200; i++ {
+		a := 100 + float64(i%17)
+		p.Add(a, 0.8*a+float64(i%5)-2)
+	}
+	lo, hi := p.MeanDeltaCI(500, 0.95, 42)
+	if lo > hi {
+		t.Fatalf("inverted CI [%v, %v]", lo, hi)
+	}
+	if d := p.MeanDelta(); d < lo || d > hi {
+		t.Errorf("point estimate %v outside its own CI [%v, %v]", d, lo, hi)
+	}
+	if hi >= 0 {
+		t.Errorf("a consistent 20%% improvement should exclude zero: [%v, %v]", lo, hi)
+	}
+
+	rLo, rHi := p.MeanRatioCI(500, 0.95, 43)
+	if rLo > rHi || rLo <= 0 {
+		t.Fatalf("ratio CI [%v, %v]", rLo, rHi)
+	}
+	if r := p.MeanRatio(); r < rLo || r > rHi {
+		t.Errorf("ratio %v outside CI [%v, %v]", r, rLo, rHi)
+	}
+	if rHi >= 1 {
+		t.Errorf("ratio CI should exclude 1: [%v, %v]", rLo, rHi)
+	}
+
+	// Same seed → identical interval; different seed → (almost surely)
+	// different resamples but an interval in the same place.
+	lo2, hi2 := p.MeanDeltaCI(500, 0.95, 42)
+	if lo2 != lo || hi2 != hi {
+		t.Error("bootstrap is not deterministic for a fixed seed")
+	}
+	lo3, hi3 := p.MeanDeltaCI(500, 0.95, 7)
+	if lo3 == lo && hi3 == hi {
+		t.Log("different seed produced the same CI (possible but suspicious)")
+	}
+	if math.Abs(lo3-lo) > 2 || math.Abs(hi3-hi) > 2 {
+		t.Errorf("seed change moved the CI implausibly: [%v, %v] vs [%v, %v]", lo, hi, lo3, hi3)
+	}
+
+	// Widening confidence widens the interval.
+	wLo, wHi := p.MeanDeltaCI(500, 0.99, 42)
+	if wLo > lo || wHi < hi {
+		t.Errorf("99%% CI [%v, %v] narrower than 95%% [%v, %v]", wLo, wHi, lo, hi)
+	}
+
+	// Degenerate inputs return the zero interval rather than panicking.
+	var empty PairedSample
+	if lo, hi := empty.MeanDeltaCI(100, 0.95, 1); lo != 0 || hi != 0 {
+		t.Errorf("empty bootstrap = [%v, %v]", lo, hi)
+	}
+	if lo, hi := p.MeanDeltaCI(0, 0.95, 1); lo != 0 || hi != 0 {
+		t.Errorf("zero resamples = [%v, %v]", lo, hi)
+	}
+}

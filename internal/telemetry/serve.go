@@ -121,7 +121,9 @@ func runHeadline(name string, s, prev *Snapshot) runJSON {
 
 // Handler returns the hub's HTTP handler:
 //
-//	GET /                  run overview + sweep progress (JSON)
+//	GET /                  run overview + sweep progress (JSON; an Accept
+//	                       header preferring text/html gets the browsable
+//	                       dashboard with inline-SVG charts instead)
 //	GET /counters?run=R    latest counter rows for run R (JSON)
 //	GET /series?run=R      series names for run R (JSON)
 //	GET /series/NAME?run=R latest retained points of one series (JSON)
@@ -172,6 +174,10 @@ func (h *Hub) overview() map[string]any {
 func (h *Hub) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
+		return
+	}
+	if wantsHTML(r) {
+		h.handleDashboard(w, r)
 		return
 	}
 	writeJSON(w, h.overview())

@@ -52,14 +52,20 @@ func writeFile(dir, name string, emit func(w *bufio.Writer) error) error {
 }
 
 // CSVSink writes one CSV file per probe into Dir: counters.csv,
-// series_<name>.csv (columns time_ns,value), trace.csv.
+// series_<name>.csv (columns time_ns,value), trace.csv. When Provenance is
+// set, counters.csv and trace.csv open with a "# provenance=..." comment
+// naming the workload that drove the run.
 type CSVSink struct {
-	Dir string
+	Dir        string
+	Provenance string
 }
 
 // Counters implements Sink.
 func (s CSVSink) Counters(rows []CounterRow) error {
 	return writeFile(s.Dir, "counters.csv", func(w *bufio.Writer) error {
+		if s.Provenance != "" {
+			fmt.Fprintf(w, "# provenance=%s\n", s.Provenance)
+		}
 		fmt.Fprintln(w, "group,name,counter,value")
 		for _, r := range rows {
 			fmt.Fprintf(w, "%s,%s,%s,%d\n", r.Group, csvField(r.Name), r.Counter, r.Value)
@@ -91,6 +97,9 @@ func captureComment(info CaptureInfo) string {
 // Trace implements Sink.
 func (s CSVSink) Trace(tr *PacketTrace) error {
 	return writeFile(s.Dir, "trace.csv", func(w *bufio.Writer) error {
+		if s.Provenance != "" {
+			fmt.Fprintf(w, "# provenance=%s\n", s.Provenance)
+		}
 		fmt.Fprintln(w, captureComment(tr.Info()))
 		fmt.Fprintln(w, "time_ns,event,where,flow,src,dst,sport,dport,seq,payload")
 		for _, e := range tr.Events() {
@@ -120,12 +129,22 @@ func formatFloat(v float64) string {
 // (fields are numbers and already-sanitized short strings), keeping flush
 // cheap for large traces.
 type NDJSONSink struct {
-	Dir string
+	Dir        string
+	Provenance string
+}
+
+// provenanceLine emits the {"provenance":...} meta line when set; readers
+// (cmd/congatrace, cmd/congaplot) skip it by key.
+func (s NDJSONSink) provenanceLine(w *bufio.Writer) {
+	if s.Provenance != "" {
+		fmt.Fprintf(w, `{"provenance":%s}`+"\n", jsonString(s.Provenance))
+	}
 }
 
 // Counters implements Sink.
 func (s NDJSONSink) Counters(rows []CounterRow) error {
 	return writeFile(s.Dir, "counters.ndjson", func(w *bufio.Writer) error {
+		s.provenanceLine(w)
 		for _, r := range rows {
 			fmt.Fprintf(w, `{"group":%s,"name":%s,"counter":%s,"value":%d}`+"\n",
 				jsonString(r.Group), jsonString(r.Name), jsonString(r.Counter), r.Value)
@@ -151,6 +170,7 @@ func (s NDJSONSink) Series(sr *Series) error {
 // Trace implements Sink.
 func (s NDJSONSink) Trace(tr *PacketTrace) error {
 	return writeFile(s.Dir, "trace.ndjson", func(w *bufio.Writer) error {
+		s.provenanceLine(w)
 		info := tr.Info()
 		fmt.Fprintf(w, `{"capture":{"mode":%s,"cap":%d,"recorded":%d,"seen":%d,"suppressed":%d,"trigger":%s,"triggered":%t,"triggered_at_ns":%d,"reason":%s}}`+"\n",
 			jsonString(info.Mode.String()), info.Cap, info.Recorded, info.Seen,

@@ -179,6 +179,10 @@ type Registry struct {
 
 	tap      *Tap
 	progress func() Progress
+
+	// provenance, when set, names the workload that drove the run (e.g. a
+	// replay trace's identity); sinks stamp it into their headers.
+	provenance string
 }
 
 // New returns a registry for the given options. It never returns nil (use a
@@ -424,12 +428,25 @@ func (r *Registry) FlushTo(dir string) error {
 		return nil
 	}
 	r.Collect()
-	for _, sink := range []Sink{CSVSink{Dir: dir}, NDJSONSink{Dir: dir}} {
+	for _, sink := range []Sink{
+		CSVSink{Dir: dir, Provenance: r.provenance},
+		NDJSONSink{Dir: dir, Provenance: r.provenance},
+	} {
 		if err := r.flushSink(sink); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// SetProvenance records a one-line ancestry string for the run's data —
+// typically the identity of the replay trace that drove it — which the
+// flush sinks stamp into counters and trace headers. Safe on nil.
+func (r *Registry) SetProvenance(s string) {
+	if r == nil {
+		return
+	}
+	r.provenance = s
 }
 
 // FlushSink runs Collect and writes every probe through a single sink.

@@ -39,6 +39,11 @@ type GenConfig struct {
 	Stride     uint64
 	// Seed isolates this generator's randomness.
 	Seed uint64
+	// Observe, when non-nil, is called with every arrival as it is drawn —
+	// live (launch time) or pregenerated (draw time) — in arrival order.
+	// The record/replay subsystem hooks trace capture here; observation
+	// must not mutate anything the generator or flows depend on.
+	Observe func(Arrival)
 }
 
 // Generator produces flows on a network.
@@ -157,6 +162,9 @@ func (g *Generator) launch(now sim.Time) {
 	g.created++
 	g.Generated++
 	g.OfferedBytes += size
+	if g.cfg.Observe != nil {
+		g.cfg.Observe(Arrival{At: now, Src: src.ID, Dst: dst.ID, FlowID: id, Size: size})
+	}
 	g.start(src, dst, id, size)
 }
 
@@ -203,7 +211,11 @@ func (g *Generator) Pregenerate() []Arrival {
 		g.created++
 		g.Generated++
 		g.OfferedBytes += size
-		out = append(out, Arrival{At: next, Src: src.ID, Dst: dst.ID, FlowID: id, Size: size})
+		a := Arrival{At: next, Src: src.ID, Dst: dst.ID, FlowID: id, Size: size}
+		if g.cfg.Observe != nil {
+			g.cfg.Observe(a)
+		}
+		out = append(out, a)
 		now = next
 	}
 	return out

@@ -2,10 +2,12 @@ package conga
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"conga/internal/core"
 	"conga/internal/mptcp"
+	"conga/internal/replay"
 	"conga/internal/sim"
 	"conga/internal/stats"
 	"conga/internal/tcp"
@@ -46,6 +48,7 @@ type parDomain struct {
 
 	retx     uint64
 	timeouts uint64
+	flows    []FlowFCT // populated when CollectFlows is set
 
 	arrivals []parArrival
 	next     int
@@ -124,22 +127,37 @@ func runFCTParallel(cfg FCTConfig) (*FCTResult, error) {
 		subflows = cfg.Transport.Subflows
 	}
 
-	// Draw the whole arrival sequence up front on the same RNG stream the
-	// sequential run consumes live, so both modes offer the identical
-	// workload.
-	gen, err := workload.NewGenerator(engines[0], net, workload.GenConfig{
-		Load:          cfg.Load,
-		Dist:          dist,
-		Duration:      sim.Duration(cfg.Duration),
-		MaxFlows:      cfg.MaxFlows,
-		InterLeafOnly: true,
-		Stride:        uint64(subflows),
-		Seed:          cfg.Seed,
-	}, nil)
-	if err != nil {
-		return nil, err
+	// The arrival sequence is fully materialized before the run: either
+	// pregenerated on the same RNG stream the sequential run consumes live
+	// (so both modes offer the identical workload), or lifted straight out
+	// of a replay trace.
+	var arrivals []workload.Arrival
+	var generated int
+	if cfg.Replay != nil {
+		if err := cfg.checkReplay(); err != nil {
+			return nil, err
+		}
+		arrivals = make([]workload.Arrival, len(cfg.Replay.Flows))
+		for i, f := range cfg.Replay.Flows {
+			arrivals[i] = workload.Arrival{At: f.At, Src: f.Src, Dst: f.Dst, FlowID: f.FlowID, Size: f.Size}
+		}
+		generated = len(arrivals)
+	} else {
+		gen, err := workload.NewGenerator(engines[0], net, workload.GenConfig{
+			Load:          cfg.Load,
+			Dist:          dist,
+			Duration:      sim.Duration(cfg.Duration),
+			MaxFlows:      cfg.MaxFlows,
+			InterLeafOnly: true,
+			Stride:        uint64(subflows),
+			Seed:          cfg.Seed,
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		arrivals = gen.Pregenerate()
+		generated = gen.Generated
 	}
-	arrivals := gen.Pregenerate()
 
 	doms := make([]*parDomain, P)
 	for d := range doms {
@@ -182,6 +200,9 @@ func runFCTParallel(cfg FCTConfig) (*FCTResult, error) {
 			st := f.Sender.Stats()
 			d.retx += st.RetxSegments
 			d.timeouts += st.Timeouts
+			if cfg.CollectFlows {
+				d.flows = append(d.flows, FlowFCT{ID: f.Sender.FlowID(), Size: f.Size, FCT: time.Duration(f.FCT(now))})
+			}
 			if hook != nil {
 				hook(d.id, f.Sender.FlowID(), f.FCT(now))
 			}
@@ -194,6 +215,9 @@ func runFCTParallel(cfg FCTConfig) (*FCTResult, error) {
 				st := s.Stats()
 				d.retx += st.RetxSegments
 				d.timeouts += st.Timeouts
+			}
+			if cfg.CollectFlows {
+				d.flows = append(d.flows, FlowFCT{ID: subs[0].FlowID(), Size: f.Size, FCT: time.Duration(f.FCT(now))})
 			}
 			if hook != nil {
 				hook(d.id, subs[0].FlowID(), f.FCT(now))
@@ -240,7 +264,7 @@ func runFCTParallel(cfg FCTConfig) (*FCTResult, error) {
 		Scheme:         SchemeName(cfg.Scheme),
 		Workload:       dist.Name(),
 		Load:           cfg.Load,
-		Generated:      gen.Generated,
+		Generated:      generated,
 		Completed:      rec.Flows,
 		AvgFCT:         time.Duration(rec.Overall.Mean() * 1e9),
 		P99FCT:         time.Duration(rec.Overall.Quantile(0.99) * 1e9),
@@ -257,12 +281,39 @@ func runFCTParallel(cfg FCTConfig) (*FCTResult, error) {
 		Events:         events,
 	}
 	if reg != nil {
+		if cfg.Replay != nil {
+			reg.SetProvenance(traceProvenance("replay", cfg.Replay.Header))
+		} else if cfg.Record {
+			reg.SetProvenance(traceProvenance("record", cfg.traceHeader(dist.Name())))
+		}
 		reg.Collect()
 		reg.FinishTap(endAt)
 		if err := reg.Flush(); err != nil {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}
 		res.Telemetry = reg
+	}
+	if cfg.Record {
+		if cfg.Replay != nil {
+			// Re-recording a replay keeps the original kinds and workload
+			// provenance; only the scheme/seed describe the current run.
+			trrec := &replay.Recorder{Header: cfg.traceHeader(cfg.Replay.Header.Workload)}
+			trrec.Header.Load = cfg.Replay.Header.Load
+			for _, f := range cfg.Replay.Flows {
+				trrec.Add(f)
+			}
+			res.Trace = trrec.Trace()
+		} else {
+			res.Trace = cfg.traceFromArrivals(dist.Name(), arrivals)
+		}
+	}
+	if cfg.CollectFlows {
+		var all []FlowFCT
+		for _, d := range doms {
+			all = append(all, d.flows...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+		res.FlowFCTs = all
 	}
 	return res, nil
 }
