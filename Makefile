@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-engine bench-quick bench-parallel bench-guard bench-guard-parallel replay-smoke check
+.PHONY: build test race vet bench bench-engine bench-quick bench-parallel bench-guard bench-guard-parallel replay-smoke decision-smoke check
 
 build:
 	$(GO) build ./...
@@ -48,7 +48,8 @@ bench-parallel:
 # every PR; >15% ns/op regression on the engine hot path fails the build).
 bench-guard:
 	$(MAKE) bench-quick | tee bench-quick.txt
-	$(GO) run ./tools/benchguard -baseline BENCH_PR7.json -max-regress 0.15 bench-quick.txt
+	$(GO) run ./tools/benchguard -baseline BENCH_PR9.json -max-regress 0.15 \
+		-require 'BenchmarkEngineRaw,BenchmarkFig09Enterprise' bench-quick.txt
 
 # Gate the space-parallel scale cells: events/op exact per worker count,
 # and ≥2.5× ns/op speedup at 8 workers over sequential (auto-skipped with
@@ -56,7 +57,7 @@ bench-guard:
 # gates still pin determinism).
 bench-guard-parallel:
 	$(MAKE) bench-parallel | tee bench-parallel.txt
-	$(GO) run ./tools/benchguard -baseline BENCH_PR7.json \
+	$(GO) run ./tools/benchguard -baseline BENCH_PR9.json \
 		-require 'BenchmarkScale256Leaves40G,BenchmarkScale256Leaves40GParallel2,BenchmarkScale256Leaves40GParallel4,BenchmarkScale256Leaves40GParallel8' \
 		-speedup 'BenchmarkScale256Leaves40GParallel8:BenchmarkScale256Leaves40G:2.5' \
 		bench-parallel.txt
@@ -74,5 +75,19 @@ replay-smoke:
 	/tmp/congasim -scheme conga -leaves 2 -spines 2 -hosts 8 -minrto 10ms \
 		-replay replay-smoke.trace.gz
 	$(GO) run ./cmd/congabench -fig replay -quick
+
+# End-to-end decision-plane smoke (~30 s): a short CONGA run with one
+# failed link and -decisions on, then assert the audit trail and path
+# matrix sinks are non-empty, summarize the trail with congatrace, and
+# render the path-utilization heatmap. CI uploads the sinks and figure.
+decision-smoke:
+	$(GO) build -o /tmp/congasim ./cmd/congasim
+	/tmp/congasim -scheme conga -duration 20ms -maxflows 500 -minrto 10ms \
+		-fail 0,1,0 -telemetry decision-smoke.tel -decisions
+	test -s decision-smoke.tel/decisions.csv
+	test -s decision-smoke.tel/paths.csv
+	$(GO) run ./cmd/congatrace -read decision-smoke.tel/decisions.csv
+	$(GO) run ./cmd/congaplot -heatmap -dir decision-smoke.tel -out decision-heatmap.svg
+	test -s decision-heatmap.svg
 
 check: build vet test race

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"conga/internal/plot"
+	"conga/internal/telemetry"
+)
+
+// renderHeatmap draws the path-utilization figure from the decision plane's
+// flushed path load matrix: one row per (srcLeaf, uplink), one column per
+// destination leaf, cell heat = bytes routed (flowlet counts when the run
+// recorded no bytes). Input is paths.ndjson (preferred) or paths.csv from a
+// congasim -decisions run.
+func renderHeatmap(dir, out, title string, width int) error {
+	rows, sums, err := loadPaths(dir)
+	if err != nil {
+		return err
+	}
+	rowLabels, colLabels, values, unit := telemetry.PathMatrix(rows)
+	if len(values) == 0 {
+		return fmt.Errorf("no path load cells in %s (run congasim with -decisions)", dir)
+	}
+	if title == "" {
+		title = "path utilization (uplink × destination leaf)"
+	}
+	var parts []string
+	for _, sm := range sums {
+		parts = append(parts, fmt.Sprintf("l%d imbalance %.2f entropy %.2f", sm.Leaf, sm.Imbalance, sm.Entropy))
+	}
+	svg := plot.Heatmap(plot.HeatmapSpec{
+		Title:     title,
+		Subtitle:  strings.Join(parts, " · "),
+		Width:     width,
+		Unit:      unit,
+		RowLabels: rowLabels,
+		ColLabels: colLabels,
+		Values:    values,
+	})
+	if err := os.WriteFile(out, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("congaplot: wrote %s (%d paths, %d leaves)\n", out, len(rows), len(sums))
+	return nil
+}
+
+// loadPaths reads the path load matrix sink files back into rows and
+// per-leaf summaries.
+func loadPaths(dir string) ([]telemetry.PathRow, []telemetry.PathSummary, error) {
+	if p := filepath.Join(dir, "paths.ndjson"); fileExists(p) {
+		return loadPathsNDJSON(p)
+	}
+	if p := filepath.Join(dir, "paths.csv"); fileExists(p) {
+		return loadPathsCSV(p)
+	}
+	return nil, nil, fmt.Errorf("no paths.ndjson or paths.csv in %s (run congasim with -decisions)", dir)
+}
+
+func fileExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.Mode().IsRegular()
+}
+
+func loadPathsNDJSON(path string) ([]telemetry.PathRow, []telemetry.PathSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []telemetry.PathRow
+	var sums []telemetry.PathSummary
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, `{"provenance":`) {
+			continue
+		}
+		if strings.HasPrefix(line, `{"summary":`) {
+			var meta struct {
+				Summary telemetry.PathSummary `json:"summary"`
+			}
+			if err := json.Unmarshal([]byte(line), &meta); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", path, err)
+			}
+			sums = append(sums, meta.Summary)
+			continue
+		}
+		var r telemetry.PathRow
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, sums, nil
+}
+
+func loadPathsCSV(path string) ([]telemetry.PathRow, []telemetry.PathSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []telemetry.PathRow
+	var sums []telemetry.PathSummary
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "", strings.HasPrefix(line, "leaf,"):
+			continue
+		case strings.HasPrefix(line, "# summary "):
+			sums = append(sums, parseSummaryComment(line))
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 5 {
+			return nil, nil, fmt.Errorf("%s: bad row %q", path, line)
+		}
+		var nums [5]int64
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: bad row %q: %w", path, line, err)
+			}
+			nums[i] = v
+		}
+		rows = append(rows, telemetry.PathRow{
+			Leaf: int(nums[0]), Uplink: int(nums[1]), DstLeaf: int(nums[2]),
+			Flowlets: uint64(nums[3]), Bytes: uint64(nums[4]),
+		})
+	}
+	return rows, sums, nil
+}
+
+// parseSummaryComment parses "# summary leaf=0 flowlets=12 bytes=345
+// imbalance=1.2 entropy=0.9" back into a PathSummary.
+func parseSummaryComment(line string) telemetry.PathSummary {
+	var sm telemetry.PathSummary
+	for _, tok := range strings.Fields(strings.TrimPrefix(line, "#")) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "leaf":
+			n, _ := strconv.Atoi(v)
+			sm.Leaf = n
+		case "flowlets":
+			n, _ := strconv.ParseUint(v, 10, 64)
+			sm.Flowlets = n
+		case "bytes":
+			n, _ := strconv.ParseUint(v, 10, 64)
+			sm.Bytes = n
+		case "imbalance":
+			sm.Imbalance, _ = strconv.ParseFloat(v, 64)
+		case "entropy":
+			sm.Entropy, _ = strconv.ParseFloat(v, 64)
+		}
+	}
+	return sm
+}

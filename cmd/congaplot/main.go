@@ -14,6 +14,14 @@
 //	congasim -scheme conga -cdfout out/cdf
 //	congaplot -cdf -dir out/cdf -series imbalance -out imbalance.svg
 //
+//	congasim -telemetry out/tel -decisions
+//	congaplot -heatmap -dir out/tel -out heatmap.svg
+//
+// With -heatmap the input is the decision plane's path load matrix
+// (paths.ndjson or paths.csv from a congasim -decisions run) and the figure
+// is a (srcLeaf, uplink) × dstLeaf heatmap of bytes routed per path, with
+// each leaf's imbalance and entropy figures in the subtitle.
+//
 // The chart is a single-axis line chart: all selected series must share a
 // unit (mixing units would need a second y-axis, which congaplot refuses
 // by design — run it twice and get two figures instead). With -cdf the
@@ -52,6 +60,7 @@ func main() {
 		height  = flag.Int("height", 440, "SVG height in px")
 		list    = flag.Bool("list", false, "list available series names and exit")
 		cdf     = flag.Bool("cdf", false, "CDF input mode: read cdf_*.csv distribution files (value,fraction) and plot cumulative fraction on a [0,1] axis")
+		heatmap = flag.Bool("heatmap", false, "heatmap input mode: read the decision plane's paths.ndjson/paths.csv (congasim -decisions) and render the path-utilization matrix")
 		tMin    = flag.Duration("tmin", 0, "clip points before this sim time (time-series mode only)")
 		tMax    = flag.Duration("tmax", 0, "clip points after this sim time (0 = no clip; time-series mode only)")
 	)
@@ -62,6 +71,16 @@ func main() {
 	}
 	if *cdf && *liveURL != "" {
 		die(fmt.Errorf("-cdf reads distribution files; use it with -dir"))
+	}
+	if *heatmap {
+		if *liveURL != "" {
+			die(fmt.Errorf("-heatmap reads path matrix files; use it with -dir"))
+		}
+		if *cdf {
+			die(fmt.Errorf("-heatmap and -cdf are separate figures; pick one"))
+		}
+		die(renderHeatmap(*dir, *out, *title, *width))
+		return
 	}
 	re, err := regexp.Compile(*sel)
 	die(err)

@@ -66,6 +66,7 @@ func main() {
 		traceMode     = flag.String("trace-mode", "head", "packet-trace capture mode when full: head, tail (flight recorder), reservoir")
 		traceTrigger  = flag.String("trace-trigger", "none", "freeze the trace on a condition: none, first-drop, first-rto (|-combinable)")
 		traceStop     = flag.Int("trace-stop-after", 0, "record this many further events after the trigger before freezing")
+		decisions     = flag.Bool("decisions", false, "enable the decision plane (requires -telemetry or -serve): flowlet routing audit trail, path load matrices, feedback-staleness series")
 		serveAddr     = flag.String("serve", "", "serve the live telemetry endpoint on this address (e.g. :8080) while the run executes")
 		linger        = flag.Duration("linger", 0, "keep the -serve endpoint up this long after the run finishes")
 
@@ -124,6 +125,17 @@ func main() {
 		tel.TraceTrigger, err = telemetry.ParseTrigger(*traceTrigger)
 		die(err)
 		tel.TraceStopAfter = *traceStop
+		// The decision plane is opt-in on the CLI: the audit trail and path
+		// matrices only appear with -decisions. Under -parallel the per-leaf
+		// hooks stay on but the single shared audit buffer must go.
+		tel.Decisions, tel.DecisionTrace = *decisions, *decisions
+		tel.DecisionMode = tel.TraceMode
+		if *decisions && *parallel > 1 {
+			tel.DecisionTrace = false
+			fmt.Printf("decisions: audit trail disabled under -parallel %d (no deterministic merge); path matrices and staleness series remain on\n", *parallel)
+		}
+	} else if *decisions {
+		die(fmt.Errorf("-decisions needs telemetry enabled; add -telemetry DIR or -serve ADDR"))
 	}
 
 	// -serve exposes the run live: the engine publishes tap snapshots at
@@ -312,6 +324,19 @@ func printTelemetry(reg *conga.TelemetryRegistry, dir string) {
 		} else if info.Mode != telemetry.CaptureHead || info.Trigger != 0 {
 			fmt.Printf("telemetry: trace capture=%s suppressed=%d trigger=%s (not fired)\n",
 				info.Mode, info.Suppressed, info.Trigger)
+		}
+	}
+	if dt := reg.DecisionTotals(); dt.Sticky+dt.NewFlowlet+dt.Expired+dt.Evicted > 0 {
+		fmt.Printf("decisions: sticky %d new-flowlet %d expired %d evicted %d cold %d",
+			dt.Sticky, dt.NewFlowlet, dt.Expired, dt.Evicted, dt.Cold)
+		if tr := reg.DecisionTrace(); tr != nil {
+			info := tr.Info()
+			fmt.Printf("; audit trail capture=%s recorded=%d suppressed=%d", info.Mode, info.Recorded, info.Suppressed)
+		}
+		fmt.Println()
+		for _, sm := range reg.PathSummaries() {
+			fmt.Printf("decisions: leaf%d routed %d flowlets %d MB; uplink imbalance %.2f entropy %.2f\n",
+				sm.Leaf, sm.Flowlets, sm.Bytes>>20, sm.Imbalance, sm.Entropy)
 		}
 	}
 }

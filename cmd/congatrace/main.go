@@ -8,7 +8,12 @@
 // packet trace flushed by the telemetry subsystem (trace.csv or
 // trace.ndjson from a -telemetry run) it prints the capture policy —
 // mode, trigger, how many events were suppressed by the flight-recorder
-// ring or reservoir — plus a per-event-kind summary. For a workload
+// ring or reservoir — plus a per-event-kind summary. For a flowlet
+// routing audit trail (decisions.csv or decisions.ndjson from a
+// -decisions run) it prints the capture policy, the recorded-plus-
+// suppressed accounting, the routing-reason mix, the feedback age of the
+// winning remote metrics, and the hottest (srcLeaf, uplink, dstLeaf)
+// paths. For a workload
 // replay trace (congasim -record, either NDJSON or gzip'd binary) it
 // prints the header — format version, recording provenance, topology
 // fingerprint, flow count — and the arrival mix.
@@ -17,6 +22,7 @@
 //
 //	congatrace [-flows 5000] [-workload enterprise] [-rate 10] [-burst 65536]
 //	congatrace -read out/telemetry/trace.csv
+//	congatrace -read out/telemetry/decisions.csv
 //	congatrace -read run.trace.gz
 package main
 

@@ -15,14 +15,18 @@ import (
 
 // readTrace prints a summary of any trace file this repo produces: a
 // workload replay trace (internal/replay, either format — header with
-// version, fingerprint and flow count), or a packet trace flushed by
-// internal/telemetry: trace.csv (header comment line "# capture=...
+// version, fingerprint and flow count), a flowlet routing audit trail
+// (decisions.csv / decisions.ndjson from a -decisions run), or a packet
+// trace flushed by internal/telemetry: trace.csv (header comment line "# capture=...
 // cap=... suppressed=...") or trace.ndjson (leading {"capture":{...}}
 // meta object). Older files without the header still summarize; the
 // capture section just reports "unknown (no capture header)".
 func readTrace(path string) error {
 	if replay.IsTraceFile(path) {
 		return readReplayTrace(path)
+	}
+	if isDecisionFile(path) {
+		return readDecisions(path)
 	}
 	f, err := os.Open(path)
 	if err != nil {

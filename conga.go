@@ -43,8 +43,10 @@ import (
 // TelemetryOptions selects the observability probes for a run: monotonic
 // counters (per-link enqueue/dequeue/drop/CE-mark, flowlet
 // create/expire/evict, TCP loss recovery), fixed-capacity time series
-// (queue depth, DRE register, flowlet occupancy, congestion-table metrics)
-// and a 5-tuple-filterable packet trace. See internal/telemetry for the
+// (queue depth, DRE register, flowlet occupancy, congestion-table metrics,
+// feedback staleness), a 5-tuple-filterable packet trace, and the decision
+// plane (flowlet routing audit trail, per-(uplink, dstLeaf) path load
+// matrices). See internal/telemetry for the
 // zero-overhead-when-off design and the determinism guarantee: probes
 // observe, they never schedule, so enabling telemetry changes no simulation
 // outcome.

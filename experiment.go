@@ -486,6 +486,7 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 		if err := reg.Flush(); err != nil {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}
+		reg.ArchiveToHub()
 		res.Telemetry = reg
 	}
 	if traceRec != nil {

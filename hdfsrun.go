@@ -244,6 +244,7 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 		if err := reg.Flush(); err != nil {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}
+		reg.ArchiveToHub()
 		res.Telemetry = reg
 	}
 	if traceRec != nil {

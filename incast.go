@@ -251,6 +251,7 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 		if err := reg.Flush(); err != nil {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}
+		reg.ArchiveToHub()
 		res.Telemetry = reg
 	}
 	if traceRec != nil {

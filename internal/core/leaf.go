@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"conga/internal/sim"
+	"conga/internal/telemetry"
 )
 
 // combine composes one uplink's local and remote metrics per the chosen
@@ -120,6 +121,17 @@ type Leaf struct {
 	// Decisions counts flowlet-level LB decisions; Moves counts decisions
 	// that picked a different uplink than the previous flowlet.
 	Decisions, Moves uint64
+
+	// Hooks is the decision-plane observability seam: nil when telemetry is
+	// off (every SelectUplink site is then a single branch, same pattern as
+	// fabric.Link and tcp.Sender hooks). Hooks never feed back into the
+	// decision: they read state after the verdict and consume no engine
+	// randomness.
+	Hooks *telemetry.DecisionHooks
+
+	// hookBuf holds the combined max(local, remote) candidate vector handed
+	// to Hooks, computed only when Hooks is non-nil.
+	hookBuf []uint8
 }
 
 // NewLeaf returns the CONGA state for leaf id in a fabric of numLeaves
@@ -152,6 +164,9 @@ func NewLeaf(id, numLeaves, numUplinks int, p Params, rng *sim.Rand) *Leaf {
 func (l *Leaf) SelectUplink(flowHash uint64, dstLeaf int, localMetrics []uint8, allowed []bool, now sim.Time) (uplink int, newFlowlet bool) {
 	port, active := l.Flowlets.Lookup(flowHash, now)
 	if active && (allowed == nil || (port < len(allowed) && allowed[port])) {
+		if l.Hooks != nil {
+			l.Hooks.Decision(now, dstLeaf, port, telemetry.ReasonSticky, -1, nil)
+		}
 		return port, false
 	}
 	remote := l.ToLeaf.Metrics(dstLeaf, now, l.remoteBuf)
@@ -163,8 +178,40 @@ func (l *Leaf) SelectUplink(flowHash uint64, dstLeaf int, localMetrics []uint8, 
 	if port >= 0 && choice != port {
 		l.Moves++
 	}
+	if l.Hooks != nil {
+		l.recordDecision(dstLeaf, choice, port, active, localMetrics, remote, now)
+	}
 	l.Flowlets.Install(flowHash, choice, now)
 	return choice, true
+}
+
+// recordDecision reports one congestion-aware pick through the hook seam:
+// the reason (new-flowlet / expired / evicted), the candidate vector the
+// decision minimized over, and the feedback age of the winning uplink's
+// remote metric. Kept out of the inline path so the hooks-off SelectUplink
+// body stays small; only runs when Hooks != nil.
+func (l *Leaf) recordDecision(dstLeaf, choice, port int, active bool, localMetrics, remote []uint8, now sim.Time) {
+	reason := telemetry.ReasonNewFlowlet
+	switch {
+	case active:
+		reason = telemetry.ReasonEvicted
+	case port >= 0:
+		reason = telemetry.ReasonExpired
+	}
+	age := int64(-1)
+	if a, ok := l.ToLeaf.FeedbackAge(dstLeaf, choice, now); ok {
+		age = int64(a)
+	}
+	// Allocated on the first hooked decision, not in NewLeaf, so hooks-off
+	// runs stay allocation-identical to a build without the decision plane.
+	if cap(l.hookBuf) < len(localMetrics) {
+		l.hookBuf = make([]uint8, l.numUplinks)
+	}
+	buf := l.hookBuf[:len(localMetrics)]
+	for i := range localMetrics {
+		buf[i] = combine(l.Params.PathMetric, localMetrics[i], remote[i])
+	}
+	l.Hooks.Decision(now, dstLeaf, choice, reason, age, buf)
 }
 
 // OnFabricArrival processes the CONGA header of a packet received from the

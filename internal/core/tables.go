@@ -81,6 +81,18 @@ func (t *CongestionToLeaf) Metrics(destLeaf int, now sim.Time, dst []uint8) []ui
 	return dst[:len(row)]
 }
 
+// FeedbackAge returns how long ago the entry for destLeaf via uplink last
+// received piggybacked feedback (its per-entry update timestamp is written
+// only by Update, i.e. the feedback path). ok is false when the entry has
+// never been fed back — the decision plane reports such picks as "cold".
+func (t *CongestionToLeaf) FeedbackAge(destLeaf, uplink int, now sim.Time) (age sim.Time, ok bool) {
+	m := &t.metrics[destLeaf][uplink]
+	if !m.touched {
+		return 0, false
+	}
+	return now - m.updated, true
+}
+
 // MaxMetric returns the largest aged metric for the given uplink across all
 // destination leaves — "how congested do remote paths through this uplink
 // look right now". Telemetry samples it per uplink; it reads (and ages)

@@ -157,6 +157,26 @@ func TestCongestionFromLeafIsolatesSourceLeaves(t *testing.T) {
 	}
 }
 
+// TestCongestionToLeafFeedbackAge pins the decision plane's staleness
+// source: age counts from the last Update (the piggybacked feedback), and
+// an entry that never received feedback reports ok=false (cold).
+func TestCongestionToLeafFeedbackAge(t *testing.T) {
+	p := testParams()
+	ct := NewCongestionToLeaf(2, 2, p)
+	if _, ok := ct.FeedbackAge(0, 0, 5*sim.Millisecond); ok {
+		t.Fatal("untouched entry reported a feedback age")
+	}
+	ct.Update(0, 1, 3, 2*sim.Millisecond)
+	age, ok := ct.FeedbackAge(0, 1, 5*sim.Millisecond)
+	if !ok || age != 3*sim.Millisecond {
+		t.Fatalf("age = (%v, %v), want (3ms, true)", age, ok)
+	}
+	ct.Update(0, 1, 3, 6*sim.Millisecond) // refresh resets the clock
+	if age, _ := ct.FeedbackAge(0, 1, 6*sim.Millisecond); age != 0 {
+		t.Fatalf("refreshed age = %v, want 0", age)
+	}
+}
+
 func TestMetricAgeZeroValueNeverDecaysUpward(t *testing.T) {
 	var m metricAge
 	m.set(0, 0)

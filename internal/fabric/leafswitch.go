@@ -3,6 +3,7 @@ package fabric
 import (
 	"conga/internal/core"
 	"conga/internal/sim"
+	"conga/internal/telemetry"
 )
 
 // LeafSwitch is a top-of-rack switch and overlay tunnel endpoint (TEP). On
@@ -24,6 +25,11 @@ type LeafSwitch struct {
 	vni       uint32
 	pool      *PacketPool // owning domain's pool (== net.pool when sequential)
 	usableBuf []bool
+
+	// decisions feeds the decision-plane path load matrix with payload
+	// bytes per (uplink, dstLeaf); nil when telemetry is off or the leaf
+	// runs a non-CONGA strategy, making the hot-path site one branch.
+	decisions *telemetry.DecisionHooks
 
 	// NoRouteDrops counts packets dropped because no uplink was usable.
 	NoRouteDrops uint64
@@ -100,6 +106,9 @@ func (ls *LeafSwitch) fromHost(p *Packet, now sim.Time) {
 	p.DstLeaf = dstLeaf
 	ls.strategy.PrepareHeader(p, dstLeaf, up, now)
 	ls.UpPackets++
+	if ls.decisions != nil {
+		ls.decisions.AddBytes(up, dstLeaf, p.Payload)
+	}
 	ls.uplinks[up].Send(p, now)
 }
 

@@ -192,6 +192,8 @@ type Network struct {
 	telFlTables []*core.FlowletTable  // table behind telFlowlet[i]
 	telTbl      [][]*telemetry.Series // CongestionToLeaf max metric per leaf per uplink
 	telLeafCore []*core.Leaf          // CONGA state behind telTbl[i]
+	telStale    []*telemetry.Series   // feedback staleness per leaf (nil entry: no hooks)
+	telHooks    []*telemetry.DecisionHooks
 }
 
 // noteDREActive is each fabric link's dreNotify hook: it runs on the first
@@ -259,6 +261,8 @@ func (n *Network) wireTelemetry(reg *telemetry.Registry) {
 		n.telFlTables = make([]*core.FlowletTable, len(n.Leaves))
 		n.telTbl = make([][]*telemetry.Series, len(n.Leaves))
 		n.telLeafCore = make([]*core.Leaf, len(n.Leaves))
+		n.telStale = make([]*telemetry.Series, len(n.Leaves))
+		n.telHooks = make([]*telemetry.DecisionHooks, len(n.Leaves))
 	}
 	for i, ls := range n.Leaves {
 		fc, ok := ls.strategy.(flowletCarrier)
@@ -269,13 +273,26 @@ func (n *Network) wireTelemetry(reg *telemetry.Registry) {
 		reg.AddCollector(func() {
 			reg.RecordFlowlets(leafID, table.Installs, table.Expired, table.Evicts)
 		})
-		if !series {
+		if series {
+			n.telFlowlet[i] = reg.NewSeries(fmt.Sprintf("flowlets.leaf%d", leafID), "entries")
+			n.telFlTables[i] = table
+		}
+		cc, ok := ls.strategy.(congaCarrier)
+		if !ok {
 			continue
 		}
-		n.telFlowlet[i] = reg.NewSeries(fmt.Sprintf("flowlets.leaf%d", leafID), "entries")
-		n.telFlTables[i] = table
-		if cc, ok := ls.strategy.(congaCarrier); ok {
-			cl := cc.Core()
+		cl := cc.Core()
+		// Decision-plane hooks: per-leaf structs, written only by the
+		// owning leaf's domain, so they need no parallel-mode rejection.
+		if h := reg.Decisions(leafID, len(ls.uplinks), len(n.Leaves)); h != nil {
+			cl.Hooks = h
+			ls.decisions = h
+			if series {
+				n.telStale[i] = reg.NewSeries(fmt.Sprintf("staleness.leaf%d", leafID), "ns")
+				n.telHooks[i] = h
+			}
+		}
+		if series {
 			row := make([]*telemetry.Series, len(ls.uplinks))
 			for u := range row {
 				row[u] = reg.NewSeries(fmt.Sprintf("congtbl.leaf%d.up%d", leafID, u), "metric")
@@ -295,6 +312,24 @@ func (n *Network) sampleLinkSeries(d int, now sim.Time) {
 		l := n.fabricLinks[i]
 		n.telQueue[i].Observe(now, float64(l.qlen))
 		n.telDRE[i].Observe(now, l.dre.X())
+	}
+}
+
+// sampleStaleness drains each leaf's feedback-staleness window into its
+// series: the mean age of the winning remote metric over the
+// congestion-aware decisions since the previous sample. Called from the
+// DRE-decay ticker (the same safe point that samples link series and
+// publishes taps); windows with no aged decisions leave a gap instead of
+// fabricating a zero.
+func (n *Network) sampleStaleness(d int, now sim.Time) {
+	for _, i := range n.domLeafIdx[d] {
+		h := n.telHooks[i]
+		if h == nil {
+			continue
+		}
+		if mean, ok := h.TakeStaleness(); ok {
+			n.telStale[i].Observe(now, mean)
+		}
 	}
 }
 

@@ -187,6 +187,11 @@ func NewPartitionedNetwork(engines []*sim.Engine, cfg Config) (*Network, error) 
 			return nil, fmt.Errorf("fabric: packet trace is not supported under the parallel engine (single shared trace buffer)")
 		case opts.Tap || opts.Hub != nil:
 			return nil, fmt.Errorf("fabric: live taps are not supported under the parallel engine")
+		case opts.Decisions && opts.DecisionTrace:
+			// Per-leaf decision hooks (counters, path matrices, staleness
+			// series) are domain-owned and stay available; only the single
+			// shared audit buffer is rejected.
+			return nil, fmt.Errorf("fabric: the decision trace is not supported under the parallel engine (single shared audit buffer); run sequentially for the audit trail, or keep Decisions without DecisionTrace")
 		}
 	}
 
@@ -349,6 +354,9 @@ func NewPartitionedNetwork(engines []*sim.Engine, cfg Config) (*Network, error) 
 			n.dreActive[dom] = kept
 			if n.telQueue != nil {
 				n.sampleLinkSeries(dom, now)
+			}
+			if n.telStale != nil {
+				n.sampleStaleness(dom, now)
 			}
 			// The streaming tap publishes here too: the DRE tick is an
 			// existing safe point, so snapshot handoff adds no events and the

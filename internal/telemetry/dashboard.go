@@ -82,6 +82,23 @@ func (h *Hub) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		b.WriteString(`<p class="muted">no runs attached yet</p>`)
 	}
 
+	// Finished runs' flushed telemetry directories: the dashboard stays a
+	// browsable archive after the live taps go quiet.
+	if archives := h.Archives(); len(archives) > 0 {
+		b.WriteString(`<h2>finished runs — flushed telemetry</h2>` +
+			`<table><tr><th>run</th><th>directory</th><th>files</th></tr>`)
+		for _, a := range archives {
+			var links []string
+			for _, f := range a.Files {
+				links = append(links, fmt.Sprintf(`<a href="/files/%s/%s">%s</a>`,
+					url.PathEscape(a.Name), url.PathEscape(f), html.EscapeString(f)))
+			}
+			fmt.Fprintf(&b, `<tr><td>%s</td><td class="muted">%s</td><td>%s</td></tr>`,
+				html.EscapeString(a.Name), html.EscapeString(a.Dir), strings.Join(links, " · "))
+		}
+		b.WriteString(`</table>`)
+	}
+
 	refresh := !allDone
 	if tap != nil {
 		if s := tap.Load(); s != nil {
@@ -141,6 +158,23 @@ func (h *Hub) dashboardRun(b *strings.Builder, name string, s *Snapshot) {
 			title = "series"
 		}
 		b.WriteString(plot.Line(list, plot.Spec{Title: title, Width: 640, Height: 320, Dropped: dropped}))
+	}
+
+	if rowLabels, colLabels, values, unit := PathMatrix(s.Paths); len(values) > 0 {
+		fmt.Fprintf(b, `<h2>%s — path load</h2>`, html.EscapeString(name))
+		var sums []string
+		for _, sm := range s.PathSums {
+			sums = append(sums, fmt.Sprintf("l%d imbalance %.2f entropy %.2f", sm.Leaf, sm.Imbalance, sm.Entropy))
+		}
+		b.WriteString(plot.Heatmap(plot.HeatmapSpec{
+			Title:     "path utilization (uplink × destination leaf)",
+			Subtitle:  strings.Join(sums, " · "),
+			Width:     640,
+			Unit:      unit,
+			RowLabels: rowLabels,
+			ColLabels: colLabels,
+			Values:    values,
+		}))
 	}
 
 	if len(s.Counters) > 0 {

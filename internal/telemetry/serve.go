@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -22,7 +24,20 @@ type Hub struct {
 	byName map[string]*Tap
 	auto   int
 
+	// archives are finished runs' flushed telemetry directories, in
+	// registration order, so the dashboard stays a browsable archive after
+	// the live taps go quiet.
+	archives []Archive
+
 	sweep func() (done, total int)
+}
+
+// Archive is one finished run's flushed telemetry directory as listed on
+// the hub index: the run name, the directory, and its sink file names.
+type Archive struct {
+	Name  string   `json:"name"`
+	Dir   string   `json:"dir"`
+	Files []string `json:"files"`
 }
 
 // NewHub returns an empty hub.
@@ -51,6 +66,78 @@ func (h *Hub) Attach(name string, tap *Tap) string {
 }
 
 func (h *Hub) attach(name string, tap *Tap) { h.Attach(name, tap) }
+
+// AddArchive registers a finished run's flushed telemetry directory under
+// name ("" = the directory's base name) and returns the name used. The
+// directory is listed once (re-registering a name replaces its entry), and
+// only plain files present at registration time are ever served — the
+// /files/ handler rejects anything else.
+func (h *Hub) AddArchive(name, dir string) string {
+	if h == nil || dir == "" {
+		return name
+	}
+	if name == "" {
+		name = filepath.Base(dir)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return name
+	}
+	var files []string
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.archives {
+		if h.archives[i].Name == name {
+			h.archives[i] = Archive{Name: name, Dir: dir, Files: files}
+			return name
+		}
+	}
+	h.archives = append(h.archives, Archive{Name: name, Dir: dir, Files: files})
+	return name
+}
+
+// Archives returns the registered finished-run directories in registration
+// order.
+func (h *Hub) Archives() []Archive {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Archive(nil), h.archives...)
+}
+
+// handleFiles serves one sink file of a registered archive:
+// GET /files/<run>/<file>. Only file names recorded by AddArchive are
+// served (no path traversal: the request path must match a listed name
+// exactly).
+func (h *Hub) handleFiles(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/files/")
+	run, file, ok := strings.Cut(rest, "/")
+	if !ok || file == "" || strings.Contains(file, "/") {
+		http.NotFound(w, r)
+		return
+	}
+	for _, a := range h.Archives() {
+		if a.Name != run {
+			continue
+		}
+		for _, f := range a.Files {
+			if f == file {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				http.ServeFile(w, r, filepath.Join(a.Dir, f))
+				return
+			}
+		}
+	}
+	http.NotFound(w, r)
+}
 
 // SetSweepProgress registers a closure reporting sweep-level progress
 // (runs finished / total), shown on the index and overview stream.
@@ -139,6 +226,7 @@ func (h *Hub) Handler() http.Handler {
 	mux.HandleFunc("/series", h.handleSeriesIndex)
 	mux.HandleFunc("/series/", h.handleSeries)
 	mux.HandleFunc("/stream", h.handleStream)
+	mux.HandleFunc("/files/", h.handleFiles)
 	return mux
 }
 
@@ -164,6 +252,9 @@ func (h *Hub) overview() map[string]any {
 		runs = append(runs, runHeadline(n, taps[i].Load(), nil))
 	}
 	out := map[string]any{"runs": runs}
+	if ar := h.Archives(); len(ar) > 0 {
+		out["archives"] = ar
+	}
 	if sweep != nil {
 		done, total := sweep()
 		out["sweep"] = map[string]int{"done": done, "total": total}

@@ -15,6 +15,10 @@ type Sink interface {
 	Counters(rows []CounterRow) error
 	Series(s *Series) error
 	Trace(tr *PacketTrace) error
+	// Decisions receives the bounded decision trace; Paths receives the
+	// path load matrix cells plus per-leaf balance summaries.
+	Decisions(tr *DecisionTrace) error
+	Paths(rows []PathRow, sums []PathSummary) error
 }
 
 // sanitizeName makes a probe name filesystem-safe: "->" collapses to "-",
@@ -111,6 +115,69 @@ func (s CSVSink) Trace(tr *PacketTrace) error {
 	})
 }
 
+// Decisions implements Sink: decisions.csv opens with the capture-policy
+// comment (same format as trace.csv, no trigger fields in play) and lists
+// one row per retained SelectUplink outcome; the candidate metric vector
+// is "|"-separated inside one CSV field.
+func (s CSVSink) Decisions(tr *DecisionTrace) error {
+	return writeFile(s.Dir, "decisions.csv", func(w *bufio.Writer) error {
+		if s.Provenance != "" {
+			fmt.Fprintf(w, "# provenance=%s\n", s.Provenance)
+		}
+		fmt.Fprintln(w, captureComment(tr.Info()))
+		fmt.Fprintln(w, "time_ns,src_leaf,dst_leaf,uplink,reason,age_ns,metrics")
+		for _, e := range tr.Events() {
+			fmt.Fprintf(w, "%d,%d,%d,%d,%s,%d,%s\n",
+				int64(e.T), e.SrcLeaf, e.DstLeaf, e.Uplink, e.Reason,
+				e.AgeNs, metricsField(e.Metrics))
+		}
+		return nil
+	})
+}
+
+// Paths implements Sink: paths.csv lists the non-empty matrix cells, with
+// one "# summary ..." comment per leaf carrying the balance figures.
+func (s CSVSink) Paths(rows []PathRow, sums []PathSummary) error {
+	return writeFile(s.Dir, "paths.csv", func(w *bufio.Writer) error {
+		if s.Provenance != "" {
+			fmt.Fprintf(w, "# provenance=%s\n", s.Provenance)
+		}
+		for _, sm := range sums {
+			fmt.Fprintln(w, summaryComment(sm))
+		}
+		fmt.Fprintln(w, "leaf,uplink,dst_leaf,flowlets,bytes")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%d,%d,%d,%d,%d\n",
+				r.Leaf, r.Uplink, r.DstLeaf, r.Flowlets, r.Bytes)
+		}
+		return nil
+	})
+}
+
+// metricsField renders a candidate metric vector as "3|0|7|2" ("" when the
+// event carried none, i.e. sticky hits).
+func metricsField(m []uint8) string {
+	if len(m) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, v := range m {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+	return b.String()
+}
+
+// summaryComment renders one leaf's balance summary as a CSV comment line
+// (parsed back by cmd/congatrace -read).
+func summaryComment(sm PathSummary) string {
+	return fmt.Sprintf("# summary leaf=%d flowlets=%d bytes=%d imbalance=%s entropy=%s",
+		sm.Leaf, sm.Flowlets, sm.Bytes,
+		formatFloat(sm.Imbalance), formatFloat(sm.Entropy))
+}
+
 // csvField quotes a value if it contains a comma or quote (link names like
 // "l0->s0.0" are clean, but be safe for arbitrary probe names).
 func csvField(v string) string {
@@ -183,6 +250,57 @@ func (s NDJSONSink) Trace(tr *PacketTrace) error {
 		}
 		return nil
 	})
+}
+
+// Decisions implements Sink.
+func (s NDJSONSink) Decisions(tr *DecisionTrace) error {
+	return writeFile(s.Dir, "decisions.ndjson", func(w *bufio.Writer) error {
+		s.provenanceLine(w)
+		info := tr.Info()
+		fmt.Fprintf(w, `{"capture":{"mode":%s,"cap":%d,"recorded":%d,"seen":%d,"suppressed":%d}}`+"\n",
+			jsonString(info.Mode.String()), info.Cap, info.Recorded, info.Seen,
+			info.Suppressed)
+		for _, e := range tr.Events() {
+			fmt.Fprintf(w, `{"time_ns":%d,"src_leaf":%d,"dst_leaf":%d,"uplink":%d,"reason":%s,"age_ns":%d,"metrics":%s}`+"\n",
+				int64(e.T), e.SrcLeaf, e.DstLeaf, e.Uplink,
+				jsonString(e.Reason.String()), e.AgeNs, metricsJSON(e.Metrics))
+		}
+		return nil
+	})
+}
+
+// Paths implements Sink.
+func (s NDJSONSink) Paths(rows []PathRow, sums []PathSummary) error {
+	return writeFile(s.Dir, "paths.ndjson", func(w *bufio.Writer) error {
+		s.provenanceLine(w)
+		for _, sm := range sums {
+			fmt.Fprintf(w, `{"summary":{"leaf":%d,"flowlets":%d,"bytes":%d,"imbalance":%s,"entropy":%s}}`+"\n",
+				sm.Leaf, sm.Flowlets, sm.Bytes,
+				jsonFloat(sm.Imbalance), jsonFloat(sm.Entropy))
+		}
+		for _, r := range rows {
+			fmt.Fprintf(w, `{"leaf":%d,"uplink":%d,"dst_leaf":%d,"flowlets":%d,"bytes":%d}`+"\n",
+				r.Leaf, r.Uplink, r.DstLeaf, r.Flowlets, r.Bytes)
+		}
+		return nil
+	})
+}
+
+// metricsJSON renders a candidate metric vector as a JSON array.
+func metricsJSON(m []uint8) string {
+	if len(m) == 0 {
+		return "[]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range m {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(v)))
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // jsonString quotes a string for JSON; probe and link names contain no

@@ -48,6 +48,11 @@ type Snapshot struct {
 	Progress Progress
 	Counters []CounterRow
 	Series   []TapSeries
+	// Paths is the decision plane's path load matrix (non-empty cells in
+	// (leaf, uplink, dstLeaf) order) with per-leaf balance summaries; both
+	// empty unless decision hooks are on.
+	Paths    []PathRow
+	PathSums []PathSummary
 }
 
 // SeriesDelta is the part of a snapshot's series a reader has not seen yet.
@@ -181,6 +186,8 @@ func (r *Registry) publish(now sim.Time, done bool) {
 	}
 	r.Collect()
 	snap.Counters = r.CounterRows()
+	snap.Paths = r.PathRows()
+	snap.PathSums = r.PathSummaries()
 	if len(r.series) > 0 {
 		snap.Series = make([]TapSeries, 0, len(r.series))
 		for _, s := range r.series {

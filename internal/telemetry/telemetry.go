@@ -62,6 +62,20 @@ type Options struct {
 	// TraceStopAfter records this many further matching events after the
 	// trigger before freezing (0 = freeze at the trigger).
 	TraceStopAfter int
+	// Decisions enables the decision-plane hooks: per-leaf flowlet routing
+	// reason counters, per-(uplink, dstLeaf) path load matrices, and the
+	// feedback-staleness series. Per-leaf state only, so it works under the
+	// space-parallel engine.
+	Decisions bool
+	// DecisionTrace additionally records individual SelectUplink outcomes
+	// into one bounded audit buffer (requires Decisions). A single shared
+	// buffer, so it is rejected under the parallel engine.
+	DecisionTrace bool
+	// DecisionCap bounds the decision trace (default 65536).
+	DecisionCap int
+	// DecisionMode selects what a full decision trace keeps, with the same
+	// head/tail/reservoir semantics as TraceMode.
+	DecisionMode CaptureMode
 	// Tap enables the lock-free streaming tap: the engine publishes
 	// immutable snapshots at collector safe points for concurrent readers
 	// (the HTTP live endpoint, tests, monitoring goroutines).
@@ -87,7 +101,8 @@ type Options struct {
 // All returns Options with every probe enabled at default capacities,
 // flushing to dir ("" = keep in memory only).
 func All(dir string) Options {
-	return Options{Counters: true, Series: true, Trace: true, Dir: dir}
+	return Options{Counters: true, Series: true, Trace: true,
+		Decisions: true, DecisionTrace: true, Dir: dir}
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +114,9 @@ func (o Options) withDefaults() Options {
 		o.TraceCap = 65536
 	}
 	o.TraceFilter = o.TraceFilter.normalized()
+	if o.DecisionCap <= 0 {
+		o.DecisionCap = 65536
+	}
 	if o.TapInterval <= 0 {
 		o.TapInterval = sim.Time(1e6) // 1ms sim time
 	}
@@ -177,6 +195,11 @@ type Registry struct {
 	trace   *PacketTrace
 	collect []func()
 
+	// decisions holds one hook struct per leaf (created lazily by
+	// Decisions); decTrace is the shared bounded audit buffer.
+	decisions []*DecisionHooks
+	decTrace  *DecisionTrace
+
 	tap      *Tap
 	progress func() Progress
 
@@ -198,6 +221,9 @@ func New(opts Options) *Registry {
 	if opts.Trace {
 		r.trace = newPacketTrace(opts.TraceCap, opts.TraceFilter,
 			opts.TraceMode, opts.TraceTrigger, opts.TraceStopAfter)
+	}
+	if opts.Decisions && opts.DecisionTrace {
+		r.decTrace = newDecisionTrace(opts.DecisionCap, opts.DecisionMode)
 	}
 	if opts.Tap {
 		r.tap = newTap(opts.TapInterval, opts.TapWall)
@@ -364,6 +390,16 @@ func (r *Registry) CounterRows() []CounterRow {
 			CounterRow{"flowlet", name, "evicts", f.Evicts},
 		)
 	}
+	for _, h := range r.DecisionHooksAll() {
+		name := fmt.Sprintf("leaf%d", h.Leaf)
+		rows = append(rows,
+			CounterRow{"decision", name, "sticky", h.Sticky},
+			CounterRow{"decision", name, "new_flowlet", h.NewFlowlet},
+			CounterRow{"decision", name, "expired", h.Expired},
+			CounterRow{"decision", name, "evicted", h.Evicted},
+			CounterRow{"decision", name, "cold", h.Cold},
+		)
+	}
 	return rows
 }
 
@@ -474,5 +510,26 @@ func (r *Registry) flushSink(sink Sink) error {
 			return err
 		}
 	}
+	if r.decTrace != nil {
+		if err := sink.Decisions(r.decTrace); err != nil {
+			return err
+		}
+	}
+	if len(r.decisions) > 0 {
+		if err := sink.Paths(r.PathRows(), r.PathSummaries()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// ArchiveToHub registers the registry's flushed directory on its Hub, so
+// the live dashboard keeps linking the run's sink files after it finishes.
+// A no-op unless the registry has both a Hub and a flush Dir; the harness
+// calls it once, after Flush succeeds.
+func (r *Registry) ArchiveToHub() {
+	if r == nil || r.opts.Hub == nil || r.opts.Dir == "" {
+		return
+	}
+	r.opts.Hub.AddArchive(r.opts.RunName, r.opts.Dir)
 }

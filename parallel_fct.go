@@ -88,6 +88,12 @@ func runFCTParallel(cfg FCTConfig) (*FCTResult, error) {
 	if t := cfg.Telemetry; t != nil && (t.Trace || t.Tap || t.Hub != nil) {
 		return nil, fmt.Errorf("conga: telemetry traces and live taps are not supported with Parallel=%d (they interleave events from all domains in one stream); counters and series remain available", cfg.Parallel)
 	}
+	if t := cfg.Telemetry; t != nil && t.Decisions && t.DecisionTrace {
+		// The per-leaf decision hooks themselves are fine at any P (leaves
+		// are domain-owned, flush merges them in leaf order); only the
+		// single shared audit buffer has no deterministic parallel merge.
+		return nil, fmt.Errorf("conga: the decision trace is not supported with Parallel=%d (one bounded audit buffer cannot merge per-domain decision streams deterministically); run sequentially for the audit trail — decision counters, path matrices and staleness series remain available", cfg.Parallel)
+	}
 
 	fabScheme, transport, err := schemeForFabric(cfg.Scheme, cfg.Transport.Kind)
 	if err != nil {
@@ -291,6 +297,7 @@ func runFCTParallel(cfg FCTConfig) (*FCTResult, error) {
 		if err := reg.Flush(); err != nil {
 			return nil, fmt.Errorf("conga: telemetry flush: %w", err)
 		}
+		reg.ArchiveToHub()
 		res.Telemetry = reg
 	}
 	if cfg.Record {

@@ -2,6 +2,7 @@ package conga
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -25,6 +26,10 @@ func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
 			Duration: 10 * time.Millisecond,
 			MaxFlows: 120,
 			Seed:     7,
+			// Per-flow FCT vectors sharpen the bit-identity check: any
+			// reordered completion shows up flow by flow, not just in the
+			// aggregate stats.
+			CollectFlows: true,
 		}
 		off, err := RunFCT(cfg)
 		if err != nil {
@@ -52,6 +57,26 @@ func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
 		if len(reg.AllSeries()) == 0 {
 			t.Fatalf("%s: no series registered", off.Scheme)
 		}
+		// TelemetryAll includes the decision plane, so the bit-identity
+		// check above already covers it; here make sure it observed real
+		// decisions on the scheme that has a decision plane.
+		if off.Scheme == "conga" {
+			dt := reg.DecisionTotals()
+			if dt.Sticky+dt.NewFlowlet+dt.Expired+dt.Evicted == 0 {
+				t.Fatal("conga: decision hooks recorded nothing")
+			}
+			tr := reg.DecisionTrace()
+			if tr == nil || tr.Len() == 0 {
+				t.Fatal("conga: decision trace empty")
+			}
+			if info := tr.Info(); info.Recorded+int(info.Suppressed) != info.Seen {
+				t.Fatalf("conga: capture accounting broken: recorded %d + suppressed %d != seen %d",
+					info.Recorded, info.Suppressed, info.Seen)
+			}
+			if len(reg.PathRows()) == 0 {
+				t.Fatal("conga: path load matrix empty")
+			}
+		}
 
 		// Space-parallel leg of the matrix: the same non-perturbation
 		// contract holds per worker count. Trace/Tap/Hub are rejected under
@@ -65,7 +90,9 @@ func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pcfg.Telemetry = &TelemetryOptions{Counters: true, Series: true}
+		// Decision hooks are per-leaf and domain-owned, so they stay on
+		// under parallel; only the shared DecisionTrace buffer is rejected.
+		pcfg.Telemetry = &TelemetryOptions{Counters: true, Series: true, Decisions: true}
 		pon, err := RunFCT(pcfg)
 		if err != nil {
 			t.Fatal(err)
@@ -81,6 +108,46 @@ func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
 		if enq, _, _, _ := preg.LinkTotals(); enq == 0 {
 			t.Fatalf("%s parallel: no enqueues counted", poff.Scheme)
 		}
+		if poff.Scheme == "conga" && preg.DecisionTotals().Sticky == 0 {
+			t.Fatal("conga parallel: decision hooks recorded nothing")
+		}
+	}
+}
+
+// TestDecisionTraceRejectedUnderParallel pins the loud-rejection contract:
+// the decision audit trail is one bounded buffer with no deterministic
+// per-domain merge, so asking for it under Parallel>1 must fail with an
+// error that names the sequential alternative rather than silently
+// dropping events or racing.
+func TestDecisionTraceRejectedUnderParallel(t *testing.T) {
+	cfg := FCTConfig{
+		Topology: Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 4, LinksPerSpine: 1,
+			AccessGbps: 10, FabricGbps: 10},
+		Scheme:    SchemeCONGA,
+		Workload:  WorkloadEnterprise,
+		Load:      0.5,
+		Duration:  5 * time.Millisecond,
+		MaxFlows:  40,
+		Seed:      1,
+		Parallel:  2,
+		Telemetry: &TelemetryOptions{Counters: true, Decisions: true, DecisionTrace: true},
+	}
+	if _, err := RunFCT(cfg); err == nil {
+		t.Fatal("DecisionTrace with Parallel=2 should be rejected")
+	} else if !strings.Contains(err.Error(), "decision trace") {
+		t.Fatalf("rejection should name the decision trace, got: %v", err)
+	}
+	// Dropping just the trace keeps the rest of the decision plane working.
+	cfg.Telemetry = &TelemetryOptions{Counters: true, Decisions: true}
+	res, err := RunFCT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry.DecisionTotals().Sticky == 0 {
+		t.Fatal("decision counters should work under Parallel=2")
+	}
+	if res.Telemetry.DecisionTrace() != nil {
+		t.Fatal("no trace was requested")
 	}
 }
 
