@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-engine bench-quick bench-parallel bench-guard bench-guard-parallel replay-smoke decision-smoke check
+.PHONY: build test race vet lint bench bench-engine bench-quick bench-parallel bench-guard bench-guard-parallel bench-profile replay-smoke decision-smoke check
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Minimal lint: vet plus a gofmt cleanliness check. Deliberately no
+# third-party linters — the build must work with nothing but the Go
+# toolchain (no network, no staticcheck install).
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # Full paper-artifact benchmarks (minutes).
 bench:
@@ -48,7 +57,7 @@ bench-parallel:
 # every PR; >15% ns/op regression on the engine hot path fails the build).
 bench-guard:
 	$(MAKE) bench-quick | tee bench-quick.txt
-	$(GO) run ./tools/benchguard -baseline BENCH_PR9.json -max-regress 0.15 \
+	$(GO) run ./tools/benchguard -baseline BENCH_PR10.json -max-regress 0.15 \
 		-require 'BenchmarkEngineRaw,BenchmarkFig09Enterprise' bench-quick.txt
 
 # Gate the space-parallel scale cells: events/op exact per worker count,
@@ -57,10 +66,17 @@ bench-guard:
 # gates still pin determinism).
 bench-guard-parallel:
 	$(MAKE) bench-parallel | tee bench-parallel.txt
-	$(GO) run ./tools/benchguard -baseline BENCH_PR9.json \
+	$(GO) run ./tools/benchguard -baseline BENCH_PR10.json \
 		-require 'BenchmarkScale256Leaves40G,BenchmarkScale256Leaves40GParallel2,BenchmarkScale256Leaves40GParallel4,BenchmarkScale256Leaves40GParallel8' \
 		-speedup 'BenchmarkScale256Leaves40GParallel8:BenchmarkScale256Leaves40G:2.5' \
 		bench-parallel.txt
+
+# One Fig09 run under the CPU profiler (~0.5 s of profiled simulation).
+# CI uploads fig09.cpu.prof as an artifact so a perf regression flagged by
+# bench-guard comes with the profile that explains it.
+bench-profile:
+	$(GO) test -bench 'BenchmarkFig09Enterprise$$' -benchtime 1x -run '^$$' \
+		-cpuprofile fig09.cpu.prof .
 
 # End-to-end record/replay smoke (~1 min): record a workload trace with
 # congasim, verify congatrace reads its header back, replay the identical

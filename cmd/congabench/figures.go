@@ -180,7 +180,7 @@ func runFCTFigure(quick bool, w conga.Workload) {
 	// finishes, while later schemes are still simulating.
 	results := map[string]map[float64]*conga.FCTResult{}
 	fmt.Println("(a) overall average FCT, normalized to optimal:")
-	printLoadHeader(loads)
+	printLoadHeader(loads, true)
 	_, err := conga.RunFCTsStream(cfgs, func(i int, r *conga.FCTResult, err error) {
 		if err != nil {
 			return // surfaced via the returned error below
@@ -191,7 +191,7 @@ func runFCTFigure(quick bool, w conga.Workload) {
 		}
 		results[name][loads[i%len(loads)]] = r
 		if i%len(loads) == len(loads)-1 {
-			printSeriesRow(name, loads, results[name], func(r *conga.FCTResult) float64 { return r.NormFCT })
+			printSeriesRow(name, loads, results[name], func(r *conga.FCTResult) float64 { return r.NormFCT }, true)
 		}
 	}, &sweepProg)
 	check(err)
@@ -200,30 +200,44 @@ func runFCTFigure(quick bool, w conga.Workload) {
 	fmt.Println("(c) large flows (>10MB) avg FCT, normalized to ECMP:")
 	printSeriesVsECMP(loads, results, func(r *conga.FCTResult) float64 { return float64(r.LargeAvgFCT) })
 	fmt.Println("completion counts (generated → completed within drain):")
-	printSeries(loads, results, func(r *conga.FCTResult) float64 { return float64(r.Completed) })
+	printSeries(loads, results, func(r *conga.FCTResult) float64 { return float64(r.Completed) }, false)
 }
 
-func printLoadHeader(loads []float64) {
+// perf toggles the events/s + wall tail; it goes on each sweep's primary
+// table, not on the derived views of the same runs ((b), (c), counts).
+func printLoadHeader(loads []float64, perf bool) {
 	fmt.Printf("  %-12s", "load:")
 	for _, l := range loads {
 		fmt.Printf(" %8.0f%%", l*100)
 	}
-	fmt.Println()
-}
-
-func printSeriesRow(name string, loads []float64, series map[float64]*conga.FCTResult, metric func(*conga.FCTResult) float64) {
-	fmt.Printf("  %-12s", name)
-	for _, l := range loads {
-		fmt.Printf(" %9.2f", metric(series[l]))
+	if perf {
+		fmt.Print(perfHeader())
 	}
 	fmt.Println()
 }
 
-func printSeries(loads []float64, results map[string]map[float64]*conga.FCTResult, metric func(*conga.FCTResult) float64) {
-	printLoadHeader(loads)
+func printSeriesRow(name string, loads []float64, series map[float64]*conga.FCTResult, metric func(*conga.FCTResult) float64, perf bool) {
+	fmt.Printf("  %-12s", name)
+	for _, l := range loads {
+		fmt.Printf(" %9.2f", metric(series[l]))
+	}
+	if perf {
+		var ev uint64
+		var wall time.Duration
+		for _, l := range loads {
+			ev += series[l].Events
+			wall += series[l].Wall
+		}
+		fmt.Print(perfCols(ev, wall))
+	}
+	fmt.Println()
+}
+
+func printSeries(loads []float64, results map[string]map[float64]*conga.FCTResult, metric func(*conga.FCTResult) float64, perf bool) {
+	printLoadHeader(loads, perf)
 	for _, name := range []string{"ecmp", "conga-flow", "conga", "mptcp"} {
 		if series, ok := results[name]; ok {
-			printSeriesRow(name, loads, series, metric)
+			printSeriesRow(name, loads, series, metric, perf)
 		}
 	}
 }
@@ -285,11 +299,11 @@ func runFig11(quick bool) {
 			}
 			results[name][loads[i%len(loads)]] = r
 		}
-		printSeries(loads, results, func(r *conga.FCTResult) float64 { return r.NormFCT })
+		printSeries(loads, results, func(r *conga.FCTResult) float64 { return r.NormFCT }, true)
 	}
 
 	fmt.Println("(c) hotspot queue occupancy CDF, data-mining at 60% load:")
-	fmt.Printf("  %-12s %10s %10s %10s %10s\n", "scheme", "p50", "p90", "p99", "max")
+	fmt.Printf("  %-12s %10s %10s %10s %10s%s\n", "scheme", "p50", "p90", "p99", "max", perfHeader())
 	var qcfgs []conga.FCTConfig
 	for _, s := range schemes {
 		cfg := fctConfig(quick, s, conga.WorkloadDataMining, 0.6)
@@ -314,8 +328,8 @@ func runFig11(quick bool) {
 		if n := len(r.HotspotQueueCDF); n > 0 {
 			maxq = r.HotspotQueueCDF[n-1][0] / 1e6
 		}
-		fmt.Printf("  %-12s %9.2fM %9.2fM %9.2fM %9.2fM\n",
-			conga.SchemeName(s), q(0.5), q(0.9), q(0.99), maxq)
+		fmt.Printf("  %-12s %9.2fM %9.2fM %9.2fM %9.2fM%s\n",
+			conga.SchemeName(s), q(0.5), q(0.9), q(0.99), maxq, perfCols(r.Events, r.Wall))
 	}
 	fmt.Println("Paper shape: ECMP collapses past 50% load; CONGA best, with far smaller hotspot queues.")
 }
@@ -326,7 +340,7 @@ func runFig12(quick bool) {
 	fmt.Println("Throughput imbalance (MAX−MIN)/AVG across leaf-0 uplinks, 10ms windows, 60% load:")
 	for _, w := range []conga.Workload{conga.WorkloadEnterprise, conga.WorkloadDataMining} {
 		fmt.Printf("  %s:\n", w)
-		fmt.Printf("    %-12s %8s %8s %8s\n", "scheme", "mean", "p50", "p90")
+		fmt.Printf("    %-12s %8s %8s %8s%s\n", "scheme", "mean", "p50", "p90", perfHeader())
 		var cfgs []conga.FCTConfig
 		for _, s := range fctSchemes() {
 			cfg := fctConfig(quick, s, w, 0.6)
@@ -348,7 +362,8 @@ func runFig12(quick bool) {
 				}
 				return v
 			}
-			fmt.Printf("    %-12s %8.3f %8.3f %8.3f\n", conga.SchemeName(s), r.ImbalanceMean, p(0.5), p(0.9))
+			fmt.Printf("    %-12s %8.3f %8.3f %8.3f%s\n",
+				conga.SchemeName(s), r.ImbalanceMean, p(0.5), p(0.9), perfCols(r.Events, r.Wall))
 		}
 	}
 	fmt.Println("Paper shape: CONGA ≤ MPTCP ≪ ECMP imbalance.")
@@ -406,6 +421,11 @@ func runFig13(quick bool) {
 		}
 	}
 	vals := map[rowKey]map[int]float64{}
+	type rowCost struct {
+		ev   uint64
+		wall time.Duration
+	}
+	cost := map[rowKey]*rowCost{}
 	headerDone := -1
 	_, err := conga.RunIncastsStream(cfgs, func(i int, r *conga.IncastResult, err error) {
 		if err != nil {
@@ -414,8 +434,11 @@ func runFig13(quick bool) {
 		k := rowOf[i]
 		if vals[k] == nil {
 			vals[k] = map[int]float64{}
+			cost[k] = &rowCost{}
 		}
 		vals[k][fanOf[i]] = r.GoodputFraction
+		cost[k].ev += r.Events
+		cost[k].wall += r.Wall
 		if i+1 < len(cfgs) && rowOf[i+1] == k {
 			return // row not complete yet
 		}
@@ -425,6 +448,7 @@ func runFig13(quick bool) {
 			for _, f := range fanouts {
 				fmt.Printf(" %6d", f)
 			}
+			fmt.Print(perfHeader())
 			fmt.Println()
 			headerDone = k.mtu
 		}
@@ -436,6 +460,7 @@ func runFig13(quick bool) {
 				fmt.Printf(" %6s", "-")
 			}
 		}
+		fmt.Print(perfCols(cost[k].ev, cost[k].wall))
 		fmt.Println()
 	}, &sweepProg)
 	check(err)
@@ -480,26 +505,34 @@ func runFig14(quick bool) {
 		// Configs are scheme-major, so each scheme's row streams out as
 		// soon as its last trial completes.
 		secs := make([]float64, len(cfgs))
+		evs := make([]uint64, len(cfgs))
+		walls := make([]time.Duration, len(cfgs))
 		_, err := conga.RunHDFSTrialsStream(cfgs, func(i int, r *conga.HDFSResult, err error) {
 			if err != nil {
 				return // surfaced via the returned error below
 			}
 			secs[i] = r.JobCompletion.Seconds()
+			evs[i] = r.Events
+			walls[i] = r.Wall
 			if i%trials != trials-1 {
 				return
 			}
 			s := i / trials
 			fmt.Printf("  %-8s", conga.SchemeName(schemes[s]))
 			var sum, worst float64
+			var ev uint64
+			var wall time.Duration
 			for trial := 0; trial < trials; trial++ {
 				sec := secs[s*trials+trial]
 				sum += sec
 				if sec > worst {
 					worst = sec
 				}
+				ev += evs[s*trials+trial]
+				wall += walls[s*trials+trial]
 				fmt.Printf(" %6.2f", sec)
 			}
-			fmt.Printf("   | mean %.2f worst %.2f\n", sum/float64(trials), worst)
+			fmt.Printf("   | mean %.2f worst %.2f%s\n", sum/float64(trials), worst, perfCols(ev, wall))
 		}, &sweepProg)
 		check(err)
 	}
@@ -549,11 +582,16 @@ func runFig15(quick bool) {
 		rs, err := runFCTs(cfgs)
 		check(err)
 		fmt.Printf("  %-8s", "conga")
+		var ev uint64
+		var wall time.Duration
 		for i := range loads {
 			base := float64(rs[2*i].AvgFCT)
 			cng := float64(rs[2*i+1].AvgFCT)
+			ev += rs[2*i].Events + rs[2*i+1].Events
+			wall += rs[2*i].Wall + rs[2*i+1].Wall
 			fmt.Printf(" %8.2f", cng/base)
 		}
+		fmt.Print(perfCols(ev, wall))
 		fmt.Println()
 	}
 	fmt.Println("Paper shape: CONGA's win over ECMP is larger, and appears at lower load, when access ≈ fabric speed.")
@@ -578,7 +616,11 @@ func runFig16(quick bool) {
 		}
 	}
 	fmt.Printf("6 leaves × 4 spines × 2 links, 9 failed links, web-search at 60%% load.\n")
-	type agg struct{ spineDown, leafUp float64 }
+	type agg struct {
+		spineDown, leafUp float64
+		ev                uint64
+		wall              time.Duration
+	}
 	out := map[string]agg{}
 	schemes := []conga.Scheme{conga.SchemeECMP, conga.SchemeCONGA}
 	var cfgs []conga.FCTConfig
@@ -605,11 +647,13 @@ func runFig16(quick bool) {
 		}
 		a.spineDown /= float64(max(1, nd))
 		a.leafUp /= float64(max(1, nu))
+		a.ev, a.wall = r.Events, r.Wall
 		out[conga.SchemeName(s)] = a
 	}
-	fmt.Printf("  %-8s %22s %22s\n", "scheme", "avg spine-downlink queue", "avg leaf-uplink queue")
+	fmt.Printf("  %-8s %22s %22s%s\n", "scheme", "avg spine-downlink queue", "avg leaf-uplink queue", perfHeader())
 	for _, name := range []string{"ecmp", "conga"} {
-		fmt.Printf("  %-8s %21.0fB %21.0fB\n", name, out[name].spineDown, out[name].leafUp)
+		fmt.Printf("  %-8s %21.0fB %21.0fB%s\n", name, out[name].spineDown, out[name].leafUp,
+			perfCols(out[name].ev, out[name].wall))
 	}
 	if out["conga"].spineDown > 0 {
 		fmt.Printf("  ECMP/CONGA spine-downlink queue ratio: %.1f×\n",
@@ -726,7 +770,7 @@ func runAblation(quick bool) {
 		{"sum path metric (§7)", func(p *conga.Params) { p.PathMetric = 1 }},
 	}
 	fmt.Println("CONGA parameter sensitivity — enterprise at 60% load with link failure:")
-	fmt.Printf("  %-36s %10s %10s %10s\n", "variant", "normFCT", "drops", "timeouts")
+	fmt.Printf("  %-36s %10s %10s %10s%s\n", "variant", "normFCT", "drops", "timeouts", perfHeader())
 	var cfgs []conga.FCTConfig
 	names := make([]string, 0, len(cases)+1)
 	for _, c := range cases {
@@ -754,7 +798,8 @@ func runAblation(quick bool) {
 	rs, err := runFCTs(cfgs)
 	check(err)
 	for i, r := range rs {
-		fmt.Printf("  %-36s %10.2f %10d %10d\n", names[i], r.NormFCT, r.Drops, r.Timeouts)
+		fmt.Printf("  %-36s %10.2f %10d %10d%s\n", names[i], r.NormFCT, r.Drops, r.Timeouts,
+			perfCols(r.Events, r.Wall))
 	}
 	fmt.Println("Paper shape (§3.6): performance robust across Q=3..6, τ=100..500µs, Tfl=300µs..1ms.")
 }

@@ -168,6 +168,23 @@ func main() {
 	}
 }
 
+// perfHeader and perfCols format the throughput tail appended to every
+// sweep table row: the row's executed simulator events per wall-clock
+// second, and the wall time the row's runs cost. With parallel workers the
+// wall column sums per-run cost, so it reads as CPU time spent, not
+// elapsed time.
+func perfHeader() string {
+	return fmt.Sprintf(" %9s %9s", "events/s", "wall")
+}
+
+func perfCols(events uint64, wall time.Duration) string {
+	if wall <= 0 {
+		return fmt.Sprintf(" %9s %9s", "-", "-")
+	}
+	return fmt.Sprintf(" %8.1fM %9s",
+		float64(events)/wall.Seconds()/1e6, wall.Round(10*time.Millisecond))
+}
+
 // sortedKeys returns map keys in order, for deterministic table output.
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))

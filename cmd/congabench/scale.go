@@ -21,8 +21,8 @@ func runScale(quick bool) {
 		cfg.Leaves = []int{8, 16}
 		cfg.MaxFlows = 300
 	}
-	fmt.Printf("  %-7s %-7s %-8s %-10s %-10s %-10s %s\n",
-		"leaves", "hosts", "access", "normFCT", "avgFCT", "events", "wall")
+	fmt.Printf("  %-7s %-7s %-8s %-10s %-10s %-10s%s %s\n",
+		"leaves", "hosts", "access", "normFCT", "avgFCT", "events", perfHeader(), "elapsed")
 	start := time.Now()
 	_, err := conga.RunScaleStream(cfg, func(i int, p conga.ScalePoint, err error) {
 		if err != nil {
@@ -30,10 +30,11 @@ func runScale(quick bool) {
 				fmt.Sprintf("%gG", p.AccessGbps), err)
 			return
 		}
-		fmt.Printf("  %-7d %-7d %-8s %-10.3f %-10s %-10d %v\n",
+		fmt.Printf("  %-7d %-7d %-8s %-10.3f %-10s %-10d%s %v\n",
 			p.Leaves, p.Hosts, fmt.Sprintf("%gG", p.AccessGbps),
 			p.Result.NormFCT, p.Result.AvgFCT.Round(time.Microsecond),
-			p.Result.Events, time.Since(start).Round(time.Millisecond))
+			p.Result.Events, perfCols(p.Result.Events, p.Result.Wall),
+			time.Since(start).Round(time.Millisecond))
 	}, &sweepProg)
 	check(err)
 	fmt.Println("Expected shape: normFCT stays near 1 as the fabric grows — CONGA's leaf-local state keeps load balanced without per-fabric tuning.")

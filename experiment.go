@@ -215,6 +215,10 @@ type FCTResult struct {
 	// events executed (cost accounting for the bench harness).
 	SimTime time.Duration
 	Events  uint64
+	// Wall is the real time the run cost (events/sec reporting in sweep
+	// tables). It measures the environment, not the simulation:
+	// determinism comparisons must zero it first.
+	Wall time.Duration
 
 	// Telemetry is the run's populated registry when FCTConfig.Telemetry
 	// was set (already collected and flushed), nil otherwise.
@@ -264,6 +268,15 @@ func OptimalFCT(t Topology, transport TransportConfig, size int64) time.Duration
 // space-parallel across domain engines (see parallel_fct.go); otherwise it
 // executes on the single sequential engine below.
 func RunFCT(cfg FCTConfig) (*FCTResult, error) {
+	start := time.Now()
+	res, err := runFCT(cfg)
+	if res != nil {
+		res.Wall = time.Since(start)
+	}
+	return res, err
+}
+
+func runFCT(cfg FCTConfig) (*FCTResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Replay != nil && cfg.Replay.Header.DurationNs > 0 {
 		// The replayed horizon is the recording's, not the caller's: an

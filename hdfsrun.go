@@ -100,6 +100,11 @@ type HDFSResult struct {
 	// reservoir estimate).
 	BackgroundFCTMean time.Duration
 	BackgroundFCTP99  time.Duration
+	// Events counts executed simulator events; Wall the real time the run
+	// cost (events/sec reporting). Wall measures the environment, not the
+	// simulation: determinism comparisons must zero both first.
+	Events uint64
+	Wall   time.Duration
 
 	// Telemetry is the run's populated registry when requested.
 	Telemetry *TelemetryRegistry
@@ -111,6 +116,15 @@ type HDFSResult struct {
 
 // RunHDFS executes one Figure 14 trial.
 func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
+	start := time.Now()
+	res, err := runHDFS(cfg)
+	if res != nil {
+		res.Wall = time.Since(start)
+	}
+	return res, err
+}
+
+func runHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 	cfg = cfg.withDefaults()
 	fabScheme, transport, err := schemeForFabric(cfg.Scheme, cfg.Transport.Kind)
 	if err != nil {
@@ -223,6 +237,7 @@ func RunHDFS(cfg HDFSConfig) (*HDFSResult, error) {
 		Scheme:       SchemeName(cfg.Scheme),
 		Blocks:       jobRes.Blocks,
 		ReplicaBytes: jobRes.ReplicaBytes,
+		Events:       eng.Executed(),
 	}
 	if gen != nil {
 		res.BackgroundFlows = gen.Generated

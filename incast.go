@@ -86,6 +86,11 @@ type IncastResult struct {
 	// (the mean is exact even under IncastConfig.SampleCap).
 	RoundTimeMean time.Duration
 	RoundTimeP99  time.Duration
+	// Events counts executed simulator events; Wall the real time the run
+	// cost (events/sec reporting). Wall measures the environment, not the
+	// simulation: determinism comparisons must zero both first.
+	Events uint64
+	Wall   time.Duration
 
 	// Telemetry is the run's populated registry when requested.
 	Telemetry *TelemetryRegistry
@@ -100,6 +105,15 @@ type IncastResult struct {
 // (spread across both racks, as in the testbed where all 63 other servers
 // respond).
 func RunIncast(cfg IncastConfig) (*IncastResult, error) {
+	start := time.Now()
+	res, err := runIncast(cfg)
+	if res != nil {
+		res.Wall = time.Since(start)
+	}
+	return res, err
+}
+
+func runIncast(cfg IncastConfig) (*IncastResult, error) {
 	cfg = cfg.withDefaults()
 	fabScheme, transport, err := schemeForFabric(cfg.Scheme, cfg.Transport.Kind)
 	if err != nil {
@@ -235,6 +249,7 @@ func RunIncast(cfg IncastConfig) (*IncastResult, error) {
 		Fanout:          cfg.Fanout,
 		CompletedRounds: roundsDone,
 		TotalTime:       time.Duration(eng.Now()),
+		Events:          eng.Executed(),
 		Drops:           net.Leaves[0].Downlink(client.ID).Drops,
 		Timeouts:        rtos,
 		RoundTimeMean:   time.Duration(roundTimes.Mean() * 1e9),

@@ -163,22 +163,31 @@ func (t *CongestionFromLeaf) Observe(srcLeaf int, lbTag uint8, ce uint8, now sim
 // when nothing has ever been observed from that leaf.
 func (t *CongestionFromLeaf) PickFeedback(dstLeaf int, now sim.Time) (lbTag uint8, metric uint8, ok bool) {
 	row := t.metrics[dstLeaf]
-	ch := t.changed[dstLeaf]
 	n := len(row)
 	start := t.rr[dstLeaf]
-	// First pass: the next changed entry in round-robin order.
-	for i := 0; i < n; i++ {
-		j := (start + i) % n
-		if row[j].touched && ch[j] {
-			return t.emit(dstLeaf, j, now)
+	// First pass: the next changed entry in round-robin order. The nChg
+	// counter says whether the row has any changed entry at all, which in
+	// steady state (metrics stable between feedback rounds) skips the scan
+	// entirely — this runs for every data packet leaving the leaf.
+	if t.nChg[dstLeaf] > 0 {
+		ch := t.changed[dstLeaf]
+		for i, j := 0, start; i < n; i++ {
+			if row[j].touched && ch[j] {
+				return t.emit(dstLeaf, j, now)
+			}
+			if j++; j == n {
+				j = 0
+			}
 		}
 	}
 	// Second pass: plain round-robin over touched entries, so metrics keep
 	// refreshing (and re-arm aging) even in steady state.
-	for i := 0; i < n; i++ {
-		j := (start + i) % n
+	for i, j := 0, start; i < n; i++ {
 		if row[j].touched {
 			return t.emit(dstLeaf, j, now)
+		}
+		if j++; j == n {
+			j = 0
 		}
 	}
 	return 0, 0, false

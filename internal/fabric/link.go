@@ -38,6 +38,31 @@ type Link struct {
 	txDoneFn  sim.Event
 	deliverFn sim.Event
 
+	// Idle-path cut-through (DESIGN.md §3.9). When fuse is set and the
+	// transmitter is free with an empty queue, Send applies the transmit
+	// and tx-done side effects inline and schedules the next-hop arrival
+	// directly (one event instead of the txDone→deliver pair), or — inside
+	// an arrival context with nothing pending in between — calls the
+	// destination handler synchronously (zero events for the hop). freeAt
+	// claims the transmitter through the fused serialization; packets
+	// hitting a live claim queue as usual and a lazily armed drain event at
+	// freeAt resumes the slow path, so contention costs exactly the
+	// unfused event count. claimSeq is the engine sequence number reserved
+	// for the claim at fuse time — the number the skipped txDone would have
+	// carried — and the drain event is scheduled under it via AtSeq, so the
+	// fused run breaks every (time, seq) tie exactly as the slow path does.
+	// fusedPkt is the newest fused packet, which is the only one that can
+	// still be on the wire if the link fails mid-serialization (SetUp
+	// mirrors the slow path's in-service drop for it).
+	fuse       bool
+	dstIsHost  bool       // chains never extend into transport endpoints
+	chain      *chainFlag // owning domain's arrival-context flag; nil ⇒ no chaining
+	freeAt     sim.Time
+	claimSeq   uint64
+	fusedPkt   *Packet
+	drainFn    sim.Event
+	drainArmed bool
+
 	// Space-parallel partition wiring (see partition.go): dom is the
 	// domain of the transmitting node (which owns eng, pool, queue, DRE
 	// and counters); xq, when non-nil, marks a cross-domain link whose
@@ -103,6 +128,8 @@ func NewLink(eng *sim.Engine, cfg LinkConfig, dst node) *Link {
 	}
 	l.txDoneFn = l.txDone
 	l.deliverFn = l.deliver
+	l.drainFn = l.drain
+	_, l.dstIsHost = dst.(*Host)
 	if cfg.Fabric {
 		l.dre = NewLinkDRE(cfg.RateBps, cfg.Params)
 		l.pathMetric = cfg.Params.PathMetric
@@ -140,6 +167,55 @@ func (l *Link) SetUp(up bool) {
 		if l.dre != nil {
 			l.dre.Reset()
 		}
+		// A packet still serializing when the cable is pulled dies on the
+		// wire. Both paths commit the arrival at transmit start (inflight
+		// ring or mailbox), so the committed entry is tombstoned and the
+		// arrival fires as a no-op. At most one packet can be mid-
+		// serialization: the transmitter is serial, so every earlier one
+		// finished before the next was accepted. The slow path's victim
+		// still gets its tx counters (the fast path already counted at
+		// transmit start), keeping fused and unfused totals identical.
+		var victim *Packet
+		if l.txPkt != nil {
+			victim = l.txPkt
+			l.txPkt = nil
+			l.TxPackets++
+			l.TxBytes += uint64(l.txSize)
+			if l.tel != nil {
+				l.tel.Dequeues++
+			}
+		} else if l.fusedPkt != nil && l.freeAt > l.eng.Now() {
+			victim = l.fusedPkt
+		}
+		l.fusedPkt = nil
+		if victim != nil {
+			found := false
+			if l.xq != nil {
+				es := l.xq.entries
+				for i := len(es) - 1; i >= 0; i-- {
+					if es[i].p == victim {
+						es[i].p = nil
+						found = true
+						break
+					}
+				}
+			} else {
+				for i := len(l.inflight) - 1; i >= l.infHead; i-- {
+					if l.inflight[i] == victim {
+						l.inflight[i] = nil
+						found = true
+						break
+					}
+				}
+			}
+			// A cross-domain entry already drained by a window exchange has
+			// left this domain's reach; it delivers (the packet was fully
+			// committed to the wire when the window closed).
+			if found {
+				l.noteDrop(victim, l.eng.Now())
+				l.pool.Put(victim)
+			}
+		}
 	}
 }
 
@@ -167,7 +243,11 @@ func (l *Link) wireSize(p *Packet) int {
 }
 
 // Send enqueues p for transmission. If the queue is full the packet is
-// dropped (drop-tail). A downed link drops everything.
+// dropped (drop-tail). A downed link drops everything. A transmitter that
+// is busy — serializing on the slow path, claimed by a fused send through
+// freeAt, or with packets still queued behind such a claim — queues the
+// packet; otherwise it transmits immediately, via the cut-through fast
+// path when the link allows fusion.
 func (l *Link) Send(p *Packet, now sim.Time) {
 	if !l.up {
 		l.Drops++
@@ -176,7 +256,11 @@ func (l *Link) Send(p *Packet, now sim.Time) {
 		l.pool.Put(p)
 		return
 	}
-	if l.busy {
+	// A claim ending exactly now still blocks senders ordered before the
+	// skipped txDone's sequence number: the slow-path transmitter would
+	// still have been busy when they ran.
+	if l.busy || l.freeAt > now || l.qhead < len(l.queue) ||
+		(l.fuse && l.freeAt == now && l.eng.CurSeq() < l.claimSeq) {
 		if l.qlen+l.wireSize(p) > l.maxQ {
 			l.Drops++
 			l.DropBytes += uint64(l.wireSize(p))
@@ -189,12 +273,99 @@ func (l *Link) Send(p *Packet, now sim.Time) {
 		if l.tel != nil {
 			l.tel.Enqueues++
 		}
+		// First packet behind a fused claim: arm the drain that stands in
+		// for the skipped txDone's queue pop, at the exact time — and under
+		// the exact sequence number — the skipped txDone would have run.
+		if !l.busy && !l.drainArmed {
+			l.drainArmed = true
+			l.eng.AtSeq(l.freeAt, l.drainFn, l.claimSeq)
+		}
 		return
 	}
 	if l.tel != nil {
 		l.tel.Enqueues++
 	}
+	if l.fuse {
+		l.fastTransmit(p, now)
+		return
+	}
 	l.transmit(p, now)
+}
+
+// fastTransmit is the idle-path cut-through: the transmit and tx-done side
+// effects run inline at send time and the next-hop arrival is committed
+// analytically at now+serialization+propagation. Equivalence to the slow
+// path (DESIGN.md §3.9): queue occupancy is untouched either way, CE
+// marking and DRE accounting happen at transmit start in both, arrival
+// commitment (inflight ring or mailbox entry, and the delivery event's
+// sequence number) happens at transmit start in both, and the skipped
+// txDone's sequence number is reserved so contention and same-instant ties
+// resolve identically. The tx-done counters move earlier only within the
+// serialization interval — no event can observe the difference mid-claim
+// except explicitly sampled counter snapshots, which is why tracing and
+// live taps force fusion off.
+func (l *Link) fastTransmit(p *Packet, now sim.Time) {
+	size := l.wireSize(p)
+	if l.fab {
+		if l.tel != nil {
+			prev := p.Hdr.CE
+			p.Hdr.CE = core.MarkCE(l.pathMetric, p.Hdr.CE, l.dre.Quantized())
+			if p.Hdr.CE > prev {
+				l.tel.CEMarks++
+			}
+		} else {
+			p.Hdr.CE = core.MarkCE(l.pathMetric, p.Hdr.CE, l.dre.Quantized())
+		}
+		l.dre.Add(size)
+		if !l.dreListed && l.dreNotify != nil {
+			l.dreListed = true
+			l.dreNotify(l)
+		}
+	}
+	serEnd := now + sim.Time(float64(size)*8/l.rate*float64(sim.Second))
+	arrival := serEnd + l.prop
+	l.TxPackets++
+	l.TxBytes += uint64(size)
+	if l.tel != nil {
+		l.tel.Dequeues++
+	}
+	l.freeAt = serEnd
+	l.claimSeq = l.eng.ReserveSeq() // the skipped txDone's number
+	l.fusedPkt = p
+	if l.xq != nil {
+		// Cross-domain hop: one mailbox entry, zero local events. The slow
+		// path consumes no further sequence numbers here either (its
+		// mailbox push is seq-free), so parity holds.
+		l.xq.push(p, arrival, l)
+		return
+	}
+	if c := l.chain; c != nil && c.active && !l.dstIsHost && l.eng.ChainableTo(arrival) {
+		// Hop chain: nothing is pending in (now, arrival], the arrival
+		// handler is the tail of the current (pure-arrival) event, and the
+		// destination is a switch whose handler reads only the explicit
+		// time — so running it here is indistinguishable from the engine
+		// executing a scheduled arrival. The handler runs under the
+		// sequence number its delivery event would have carried, so any
+		// same-instant claims it races against resolve identically. Fully
+		// delivered, the packet can no longer be killed by a
+		// mid-serialization link failure (any such failure event would have
+		// blocked the chain).
+		l.fusedPkt = nil
+		prev := l.eng.SetCurSeq(l.eng.ReserveSeq())
+		l.dst.handle(p, l, arrival)
+		l.eng.SetCurSeq(prev)
+		return
+	}
+	l.inflight = append(l.inflight, p)
+	l.eng.At(arrival, l.deliverFn)
+}
+
+// drain retires an expired fused claim: it fires at freeAt — the instant
+// the skipped txDone would have freed the transmitter — and starts the
+// queued packet on the slow path.
+func (l *Link) drain(now sim.Time) {
+	l.drainArmed = false
+	l.next(now)
 }
 
 // noteDrop feeds the telemetry hooks on a drop; both hooks are nil with
@@ -234,39 +405,38 @@ func (l *Link) transmit(p *Packet, now sim.Time) {
 		}
 	}
 	l.txPkt, l.txSize = p, size
-	serialization := sim.Time(float64(size) * 8 / l.rate * float64(sim.Second))
-	l.eng.At(now+serialization, l.txDoneFn)
+	serEnd := now + sim.Time(float64(size)*8/l.rate*float64(sim.Second))
+	l.eng.At(serEnd, l.txDoneFn)
+	// The arrival is committed at transmit start, exactly as the fused fast
+	// path commits it, so delivery events carry identical sequence numbers
+	// in both modes and every same-instant tie breaks the same way. A link
+	// failure before serEnd tombstones the committed entry (see SetUp).
+	if l.xq != nil {
+		// Cross-domain link: the destination's engine belongs to another
+		// worker goroutine, so the arrival is exported to the (srcDomain,
+		// dstDomain) mailbox and scheduled there during the next window
+		// exchange. The propagation delay is at least the window size, so
+		// the arrival always lands beyond the window being executed.
+		l.xq.push(p, serEnd+l.prop, l)
+	} else {
+		// Delivery events for this link all share l.deliverFn; the inflight
+		// FIFO maps each firing back to its packet. That pairing is sound
+		// because serialization keeps arrival times strictly increasing,
+		// propagation delay is constant, and the engine breaks time ties in
+		// scheduling order.
+		l.inflight = append(l.inflight, p)
+		l.eng.At(serEnd+l.prop, l.deliverFn)
+	}
 }
 
 func (l *Link) txDone(now sim.Time) {
-	p, size := l.txPkt, l.txSize
-	l.txPkt = nil
-	l.TxPackets++
-	l.TxBytes += uint64(size)
-	if l.tel != nil {
-		l.tel.Dequeues++
-	}
-	if l.up {
-		if l.xq != nil {
-			// Cross-domain link: the destination's engine belongs to
-			// another worker goroutine, so the arrival is exported to the
-			// (srcDomain, dstDomain) mailbox and scheduled there during
-			// the next window exchange. The propagation delay is at least
-			// the window size, so the arrival always lands beyond the
-			// window being executed.
-			l.xq.push(p, now+l.prop, l)
-		} else {
-			// Delivery events for this link all share l.deliverFn; the inflight
-			// FIFO maps each firing back to its packet. That pairing is sound
-			// because serialization keeps tx-done times strictly increasing,
-			// propagation delay is constant, and the engine breaks time ties in
-			// scheduling order.
-			l.inflight = append(l.inflight, p)
-			l.eng.At(now+l.prop, l.deliverFn)
+	if l.txPkt != nil { // nil: killed by a mid-serialization SetUp
+		l.txPkt = nil
+		l.TxPackets++
+		l.TxBytes += uint64(l.txSize)
+		if l.tel != nil {
+			l.tel.Dequeues++
 		}
-	} else {
-		l.noteDrop(p, now)
-		l.pool.Put(p)
 	}
 	l.next(now)
 }
@@ -280,8 +450,33 @@ func (l *Link) deliver(now sim.Time) {
 		l.inflight = l.inflight[:n]
 		l.infHead = 0
 	}
+	if p == nil {
+		// Tombstone: a fused packet killed by a mid-serialization link
+		// failure (SetUp). The arrival slot still had to fire to keep the
+		// ring's FIFO pairing intact.
+		return
+	}
+	if c := l.chain; c != nil && !l.dstIsHost {
+		// Switch-arrival context: while the destination handler runs,
+		// downstream idle sends may collapse the next hop into this event
+		// (see fastTransmit). Switch handlers forward at most one packet
+		// and do it as their final action, so the handler is this event's
+		// tail and the flag covers exactly the chainable region. Host
+		// arrivals never set it: a transport may emit several packets and
+		// keep computing after each send, which is not a pure tail.
+		c.active = true
+		l.dst.handle(p, l, now)
+		c.active = false
+		return
+	}
 	l.dst.handle(p, l, now)
 }
+
+// chainFlag marks, per partition domain, that the currently executing
+// event is a pure packet arrival — its only remaining work is the
+// destination handler — which is the context where idle-path sends may
+// legally chain hops synchronously.
+type chainFlag struct{ active bool }
 
 func (l *Link) next(now sim.Time) {
 	l.busy = false

@@ -63,6 +63,16 @@ type Config struct {
 	// scheduled, so the executed-event count is identical with telemetry
 	// on or off). The registry must be private to this network's engine.
 	Telemetry *telemetry.Registry
+
+	// DisableFusion turns off the idle-path cut-through fast path
+	// (DESIGN.md §3.9) and runs every hop through the full
+	// transmit→txDone→deliver event chain. Results are bit-identical
+	// either way — fusion only reduces the executed-event count — so this
+	// exists for the equivalence tests and for A/B measurement. Fusion is
+	// also forced off when the telemetry registry carries a packet trace
+	// or a live tap, whose mid-serialization snapshots would otherwise
+	// observe the inlined tx-done counters early.
+	DisableFusion bool
 }
 
 // WithDefaults returns cfg with unset fields filled in.
@@ -181,6 +191,11 @@ type Network struct {
 	domLeafIdx [][]int
 	mail       [][]*mailbox // mail[src][dst]; nil diagonal; nil when sequential
 	deliv      []*deliverer // per-domain cross-arrival injector; nil when sequential
+
+	// chainFlags[d] marks, while domain d executes a pure-arrival event,
+	// that idle sends may chain hops synchronously; nil when fusion is off
+	// (see Config.DisableFusion and Link.fastTransmit).
+	chainFlags []*chainFlag
 
 	// Telemetry series, parallel to fabricLinks / Leaves; all nil when
 	// series probes are off. Samples are taken inside the existing ticker

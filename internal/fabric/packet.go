@@ -64,10 +64,23 @@ type Packet struct {
 	// Measurement.
 	SentAt sim.Time
 
+	// lbHash memoizes the load-balancing flow hash (see strategy.go's
+	// flowHash): the hashed identity fields are immutable once the packet
+	// enters the fabric, and every hop's strategy would otherwise recompute
+	// the same 40-round byte hash. Zero means "not yet computed"; the pool
+	// clears it on recycle.
+	lbHash uint64
+
 	// pooled marks packets allocated from a PacketPool; only those are
 	// recycled on release (see PacketPool).
 	pooled bool
 }
+
+// SetLBHash stamps the packet's memoized load-balancing flow hash. h must
+// be HashFlow of the packet's identity fields — callers precompute it once
+// per connection; a wrong value would silently change every LB decision for
+// the packet. Zero is ignored (it is the "not computed" sentinel).
+func (p *Packet) SetLBHash(h uint64) { p.lbHash = h }
 
 // WireSize returns the packet's size on an access link in bytes.
 func (p *Packet) WireSize() int {

@@ -68,35 +68,64 @@ type pendingArrival struct {
 }
 
 // deliverer injects merged cross-domain arrivals into one domain's engine.
-// Like Link's inflight FIFO, all deliveries share a single bound event and
-// a ring maps each firing back to its packet: merged batches are appended
-// in sorted time order, consecutive windows produce strictly later arrival
-// times (a window-k entry arrives before base_k+2W ≤ any window-k+1 entry's
-// time), and the engine breaks time ties in scheduling order — so firing
-// order equals append order.
+// Each window's merge becomes one xBatch — a FIFO of arrivals spliced into
+// the engine as a single sorted stream (sim.Engine.Splice) instead of one
+// heap insertion per entry. Within a batch the splice preserves the merge
+// order exactly (consecutive engine seqs), and across batches the engine's
+// (time, seq) order decides: batches may overlap in time once fused sends
+// commit arrivals with long serialization tails crossing a window
+// boundary, which is why each batch carries its own queue and bound event
+// rather than sharing one ring.
 type deliverer struct {
 	eng   *sim.Engine
 	merge []xArrival // scratch buffer reused across exchanges
+	times []sim.Time // scratch splice times, reused across exchanges
+	free  []*xBatch  // recycled batches
+	last  *xBatch    // most recently spliced batch, for tests
+	chain *chainFlag // owning domain's arrival-context flag; nil without fusion
+}
+
+// xBatch is one exchanged window's worth of arrivals: queue[head:] pairs
+// one-to-one, in order, with the remaining firings of its spliced stream.
+type xBatch struct {
+	dv    *deliverer
 	queue []pendingArrival
 	head  int
 	fn    sim.Event
 }
 
 func newDeliverer(eng *sim.Engine) *deliverer {
-	dv := &deliverer{eng: eng}
-	dv.fn = dv.deliver
-	return dv
+	return &deliverer{eng: eng}
 }
 
-func (dv *deliverer) deliver(now sim.Time) {
-	e := dv.queue[dv.head]
-	dv.queue[dv.head] = pendingArrival{}
-	dv.head++
-	// Compact the ring once the dead prefix dominates.
-	if dv.head > 32 && dv.head*2 >= len(dv.queue) {
-		n := copy(dv.queue, dv.queue[dv.head:])
-		dv.queue = dv.queue[:n]
-		dv.head = 0
+func (dv *deliverer) getBatch() *xBatch {
+	if n := len(dv.free); n > 0 {
+		b := dv.free[n-1]
+		dv.free[n-1] = nil
+		dv.free = dv.free[:n-1]
+		return b
+	}
+	b := &xBatch{dv: dv}
+	b.fn = b.deliver
+	return b
+}
+
+func (b *xBatch) deliver(now sim.Time) {
+	e := b.queue[b.head]
+	b.queue[b.head] = pendingArrival{}
+	b.head++
+	if b.head == len(b.queue) {
+		b.queue = b.queue[:0]
+		b.head = 0
+		b.dv.free = append(b.dv.free, b)
+	}
+	if c := b.dv.chain; c != nil && !e.link.dstIsHost {
+		// Same switch-arrival chain context as Link.deliver: the handler
+		// is this firing's tail, so downstream idle hops may fuse into it.
+		c.active = true
+		e.link.dst.handle(e.p, e.link, now)
+		c.active = false
+		return
 	}
 	e.link.dst.handle(e.p, e.link, now)
 }
@@ -117,10 +146,19 @@ func (n *Network) Exchange(d int, windowEnd sim.Time) {
 		}
 		for i := range mb.entries {
 			e := &mb.entries[i]
-			merge = append(merge, xArrival{p: e.p, at: e.at, link: e.link, src: int32(s), seq: int32(i)})
+			if e.p != nil {
+				merge = append(merge, xArrival{p: e.p, at: e.at, link: e.link, src: int32(s), seq: int32(i)})
+			}
+			// A nil p is a tombstone: a fused packet killed by a
+			// mid-serialization link failure before the window closed
+			// (Link.SetUp). It simply doesn't merge.
 			*e = mailEntry{}
 		}
 		mb.entries = mb.entries[:0]
+	}
+	if len(merge) == 0 {
+		dv.merge = merge[:0]
+		return
 	}
 	slices.SortFunc(merge, func(a, b xArrival) int {
 		switch {
@@ -132,15 +170,23 @@ func (n *Network) Exchange(d int, windowEnd sim.Time) {
 			return int(a.seq - b.seq)
 		}
 	})
+	b := dv.getBatch()
+	times := dv.times[:0]
 	for i := range merge {
 		a := &merge[i]
 		if a.at < windowEnd {
 			panic(fmt.Sprintf("fabric: cross-domain arrival on %s at %v inside window ending %v (lookahead violated)",
 				a.link.Name, a.at, windowEnd))
 		}
-		dv.queue = append(dv.queue, pendingArrival{p: a.p, link: a.link})
-		dv.eng.At(a.at, dv.fn)
+		b.queue = append(b.queue, pendingArrival{p: a.p, link: a.link})
+		times = append(times, a.at)
 	}
+	// One sorted splice for the whole window instead of len(merge) heap
+	// pushes; the entries take consecutive engine seqs, preserving the
+	// deterministic (time, srcDomain, srcSeq) merge order exactly.
+	dv.eng.Splice(times, b.fn)
+	dv.last = b
+	dv.times = times[:0]
 	dv.merge = merge[:0]
 }
 
@@ -323,6 +369,42 @@ func NewPartitionedNetwork(engines []*sim.Engine, cfg Config) (*Network, error) 
 
 	// Telemetry hooks and series (no-op when cfg.Telemetry is nil).
 	n.wireTelemetry(cfg.Telemetry)
+
+	// Idle-path cut-through: enabled unless explicitly disabled or a
+	// packet trace / live tap is attached (those observe per-event timing
+	// that fusion compresses; see DESIGN.md §3.9). The decision is static
+	// for the run, so the hot path tests a plain bool per send.
+	fuse := !cfg.DisableFusion
+	if cfg.Telemetry != nil {
+		o := cfg.Telemetry.Options()
+		if o.Trace || o.Tap || o.Hub != nil {
+			fuse = false
+		}
+	}
+	if fuse {
+		n.chainFlags = make([]*chainFlag, P)
+		for d := range n.chainFlags {
+			n.chainFlags[d] = &chainFlag{}
+		}
+		wire := func(l *Link) {
+			l.fuse = true
+			l.chain = n.chainFlags[l.dom]
+		}
+		for _, l := range n.fabricLinks {
+			wire(l)
+		}
+		for _, h := range n.Hosts {
+			wire(h.out)
+		}
+		for _, ls := range n.Leaves {
+			for _, l := range ls.downlinks {
+				wire(l)
+			}
+		}
+		for d := range n.deliv {
+			n.deliv[d].chain = n.chainFlags[d]
+		}
+	}
 
 	// DRE decay: one ticker per domain drives the estimators of that
 	// domain's links that carried traffic recently. Links register

@@ -118,12 +118,12 @@ func TestExchangeMergeOrder(t *testing.T) {
 	n.Exchange(2, we)
 
 	want := []uint64{5, 2, 3, 4, 1} // (2000,s1) (3000,s0) (3000,s1,q0) (3000,s1,q1) (5000,s0)
-	dv := n.deliv[2]
-	if len(dv.queue) != len(want) {
-		t.Fatalf("deliverer queued %d arrivals, want %d", len(dv.queue), len(want))
+	b := n.deliv[2].last
+	if b == nil || len(b.queue) != len(want) {
+		t.Fatalf("exchange batch queued %v arrivals, want %d", b, len(want))
 	}
 	for i, w := range want {
-		if got := dv.queue[i].p.FlowID; got != w {
+		if got := b.queue[i].p.FlowID; got != w {
 			t.Fatalf("merge position %d: flow %d, want %d", i, got, w)
 		}
 	}
@@ -198,9 +198,9 @@ func TestExportSurvivesLinkFailure(t *testing.T) {
 	}
 
 	n.Exchange(1, window)
-	dv := n.deliv[1]
-	if len(dv.queue) != 1 || dv.queue[0].p != p {
-		t.Fatalf("exported packet not queued for delivery: %+v", dv.queue)
+	b := n.deliv[1].last
+	if b == nil || len(b.queue) != 1 || b.queue[0].p != p {
+		t.Fatalf("exported packet not queued for delivery: %+v", b)
 	}
 	if next, ok := n.DomainEngine(1).NextAt(); !ok || next != exportAt {
 		t.Fatalf("delivery scheduled at %v (ok=%v), want %v", next, ok, exportAt)

@@ -78,8 +78,22 @@ type Strategy interface {
 }
 
 func flowHash(p *Packet) uint64 {
-	return core.FlowHash(p.FlowID, uint64(p.SrcHost), uint64(p.DstHost),
-		uint64(p.SrcPort)<<16|uint64(p.DstPort), 6)
+	if h := p.lbHash; h != 0 {
+		return h
+	}
+	h := HashFlow(p.FlowID, p.SrcHost, p.DstHost, p.SrcPort, p.DstPort)
+	p.lbHash = h // 0 stays uncached (recomputed), so the memo is exact
+	return h
+}
+
+// HashFlow computes the load-balancing flow hash for the given packet
+// identity — the exact value flowHash memoizes on packets. Transports whose
+// endpoints have a fixed 5-tuple precompute it once per connection and stamp
+// outgoing packets with SetLBHash, taking the hash off the fabric's
+// per-packet hot path entirely.
+func HashFlow(flowID uint64, srcHost, dstHost, srcPort, dstPort int) uint64 {
+	return core.FlowHash(flowID, uint64(srcHost), uint64(dstHost),
+		uint64(srcPort)<<16|uint64(dstPort), 6)
 }
 
 // --- ECMP ---

@@ -165,6 +165,34 @@ type Engine struct {
 	far []*scheduledEvent
 
 	free []*scheduledEvent // recycled event objects
+
+	// Splice streams: batches of pre-sorted same-callback firings that
+	// bypass per-event wheel insertion (see Splice). Streams are consulted
+	// alongside the wheel/heap minimum at every pop, so their entries
+	// execute in exact (time, seq) order relative to ordinary events.
+	streams  []spliceStream
+	timeBufs [][]Time // recycled stream time buffers
+
+	// runUntil is the bound of the Run call currently executing (MaxTime
+	// for unbounded runs, 0 outside Run). ChainableTo uses it so callers
+	// collapsing future work into the current event can never run work the
+	// bounded Run would have left pending.
+	runUntil Time
+
+	// curSeq is the sequence number of the event currently executing. The
+	// fabric's cut-through fast path compares it against reserved sequence
+	// numbers to replay the slow path's exact tie-breaking (see ReserveSeq).
+	curSeq uint64
+}
+
+// spliceStream is one Splice batch: len(times)-head firings of fn at
+// ascending times, holding the consecutive sequence numbers seq0+head… so
+// the whole batch preserves its submission order against ordinary events.
+type spliceStream struct {
+	times []Time
+	head  int
+	seq0  uint64
+	fn    Event
 }
 
 // New returns an engine with the clock at zero.
@@ -186,14 +214,93 @@ func (e *Engine) Pending() int { return e.pending }
 func (e *Engine) Live() int { return e.live }
 
 // NextAt returns the timestamp of the earliest pending event (daemon or
-// not) and whether one exists. Peeking may cascade the timing wheel but
-// never reorders or executes anything.
+// not, scheduled or spliced) and whether one exists. Peeking may cascade
+// the timing wheel but never reorders or executes anything.
 func (e *Engine) NextAt() (Time, bool) {
-	ev := e.nextEvent()
-	if ev == nil {
-		return 0, false
+	var t Time
+	ok := false
+	if ev := e.nextEvent(); ev != nil {
+		t, ok = ev.at, true
 	}
-	return ev.at, true
+	for i := range e.streams {
+		st := &e.streams[i]
+		if at := st.times[st.head]; !ok || at < t {
+			t, ok = at, true
+		}
+	}
+	return t, ok
+}
+
+// ChainableTo reports whether executing work for time t synchronously from
+// within the current event is indistinguishable from scheduling it: the
+// interval (Now, t] holds no pending event (daemon ticks included) and t is
+// within the current Run bound, so nothing could have interleaved with —
+// or cut off — the collapsed work. It is the legality test for the fabric's
+// idle-path cut-through chains.
+func (e *Engine) ChainableTo(t Time) bool {
+	if t > e.runUntil {
+		return false
+	}
+	if at, ok := e.NextAt(); ok && at <= t {
+		return false
+	}
+	return true
+}
+
+// Splice schedules one firing of fn per entry of times, which must be
+// ascending (ties allowed) and not in the past. The whole batch costs one
+// buffer copy instead of len(times) queue insertions, and the entries take
+// consecutive sequence numbers as if scheduled back-to-back at the call —
+// so interleaving with ordinary events is exactly that of a loop over At,
+// only cheaper. Entries are non-daemon and cannot be cancelled. times is
+// copied; the caller may reuse it immediately.
+func (e *Engine) Splice(times []Time, fn Event) {
+	n := len(times)
+	if n == 0 {
+		return
+	}
+	prev := e.now
+	for _, t := range times {
+		if t < prev {
+			panic(fmt.Sprintf("sim: Splice times must be ascending and not before now %v (got %v after %v)", e.now, t, prev))
+		}
+		prev = t
+	}
+	var buf []Time
+	if k := len(e.timeBufs); k > 0 {
+		buf = e.timeBufs[k-1]
+		e.timeBufs = e.timeBufs[:k-1]
+	}
+	buf = append(buf[:0], times...)
+	e.streams = append(e.streams, spliceStream{times: buf, seq0: e.nextSeq, fn: fn})
+	e.nextSeq += uint64(n)
+	e.live += n
+	e.pending += n
+}
+
+// streamMinIdx returns the index of the stream whose head entry is the
+// (time, seq) minimum across all active streams, or −1 when none exist.
+func (e *Engine) streamMinIdx() int {
+	best := -1
+	var bt Time
+	var bs uint64
+	for i := range e.streams {
+		st := &e.streams[i]
+		at, seq := st.times[st.head], st.seq0+uint64(st.head)
+		if best < 0 || at < bt || (at == bt && seq < bs) {
+			best, bt, bs = i, at, seq
+		}
+	}
+	return best
+}
+
+// dropStream recycles stream i's buffer once its entries are spent.
+func (e *Engine) dropStream(i int) {
+	e.timeBufs = append(e.timeBufs, e.streams[i].times[:0])
+	last := len(e.streams) - 1
+	e.streams[i] = e.streams[last]
+	e.streams[last] = spliceStream{}
+	e.streams = e.streams[:last]
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
@@ -201,6 +308,97 @@ func (e *Engine) NextAt() (Time, bool) {
 // downstream measurement.
 func (e *Engine) At(t Time, fn Event) EventHandle {
 	return e.schedule(t, fn, false)
+}
+
+// CurSeq returns the sequence number of the event currently executing. It
+// is only meaningful inside an event callback.
+func (e *Engine) CurSeq() uint64 { return e.curSeq }
+
+// SetCurSeq overrides the executing event's logical sequence number and
+// returns the previous value. The fabric's cut-through chains use it to run
+// a collapsed arrival handler under the sequence number the handler's
+// scheduled event would have carried, so any tie-sensitive decisions the
+// handler makes match the uncollapsed execution exactly. Callers must
+// restore the previous value before returning.
+func (e *Engine) SetCurSeq(s uint64) uint64 {
+	prev := e.curSeq
+	e.curSeq = s
+	return prev
+}
+
+// ReserveSeq allocates and returns the next sequence number without
+// scheduling anything. A reserved number may later back an AtSeq call (at
+// most once) or be left unused; holes in the sequence space are harmless
+// because tie-breaking only needs uniqueness and monotonicity. The fabric's
+// idle-path fusion reserves the sequence numbers its skipped slow-path
+// events would have consumed, which keeps every (time, seq) tie in the
+// fused run identical to the unfused one.
+func (e *Engine) ReserveSeq() uint64 {
+	s := e.nextSeq
+	e.nextSeq++
+	return s
+}
+
+// AtSeq schedules fn at absolute time t under a sequence number previously
+// obtained from ReserveSeq. t may equal Now: the event then runs within the
+// current instant, ordered against the instant's remaining events by seq.
+// The event is non-daemon. Each reserved number must back at most one AtSeq
+// call.
+func (e *Engine) AtSeq(t Time, fn Event, seq uint64) EventHandle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	var ev *scheduledEvent
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &scheduledEvent{}
+	}
+	ev.at, ev.seq, ev.fn, ev.daemon = t, seq, fn, false
+	e.live++
+	e.pending++
+	if e.wheel == 0 {
+		e.anchor()
+	}
+	e.place(ev)
+	e.restoreBucketOrder(ev)
+	return EventHandle{eng: e, ev: ev, gen: ev.gen}
+}
+
+// restoreBucketOrder moves ev — just appended to its wheel bucket's tail —
+// backward past any higher-seq entries, restoring the buckets' seq-sorted
+// invariant after an out-of-order AtSeq insert. Far-heap events order
+// themselves. Reserved-seq inserts are rare (a fused link claim turning
+// contended), so the backward walk is not on the hot path.
+func (e *Engine) restoreBucketOrder(ev *scheduledEvent) {
+	if ev.lvl == locFar || ev.lvl == locNone {
+		return
+	}
+	var b *bucket
+	if ev.lvl == 0 {
+		b = &e.l0[ev.slot]
+	} else {
+		b = &e.lvl[ev.lvl-1][ev.slot]
+	}
+	for ev.prev != nil && ev.prev.seq > ev.seq {
+		p := ev.prev
+		p.next = ev.next
+		if ev.next != nil {
+			ev.next.prev = p
+		} else {
+			b.tail = p
+		}
+		ev.prev = p.prev
+		if p.prev != nil {
+			p.prev.next = ev
+		} else {
+			b.head = ev
+		}
+		ev.next = p
+		p.prev = ev
+	}
 }
 
 // AtDaemon schedules a housekeeping event: it runs like any other, but
@@ -252,28 +450,28 @@ func (e *Engine) anchor() {
 // the far heap when no window does. It does not touch live/pending.
 func (e *Engine) place(ev *scheduledEvent) {
 	t := ev.at
-	switch {
-	case t < e.winEnd[0]-l0Size || t >= e.winEnd[numLvls]:
-		// Behind the level-0 block (a cascade overshot a bounded Run and
-		// the caller scheduled into the gap) or beyond the wheel horizon.
-		e.farPush(ev)
-		return
-	case t < e.winEnd[0]:
-		s := int32(t & (l0Size - 1))
-		ev.lvl, ev.slot = 0, s
-		b := &e.l0[s]
-		if b.tail == nil {
-			b.head = ev
-			ev.prev = nil
-			e.l0words[s>>6] |= 1 << (uint32(s) & 63)
-			e.l0sum |= 1 << (uint32(s) >> 6)
-		} else {
-			ev.prev = b.tail
-			b.tail.next = ev
+	if t < e.winEnd[0] {
+		if t >= e.winEnd[0]-l0Size {
+			s := int32(t & (l0Size - 1))
+			ev.lvl, ev.slot = 0, s
+			b := &e.l0[s]
+			if b.tail == nil {
+				b.head = ev
+				ev.prev = nil
+				e.l0words[s>>6] |= 1 << (uint32(s) & 63)
+				e.l0sum |= 1 << (uint32(s) >> 6)
+			} else {
+				ev.prev = b.tail
+				b.tail.next = ev
+			}
+			b.tail = ev
+			ev.next = nil
+			e.wheel++
+			return
 		}
-		b.tail = ev
-		ev.next = nil
-		e.wheel++
+		// Behind the level-0 block: a cascade overshot a bounded Run and
+		// the caller scheduled into the gap.
+		e.farPush(ev)
 		return
 	}
 	for k := 1; k <= numLvls; k++ {
@@ -296,7 +494,7 @@ func (e *Engine) place(ev *scheduledEvent) {
 			return
 		}
 	}
-	panic("sim: unreachable: no wheel window for event") // guarded by the switch
+	e.farPush(ev) // beyond the wheel horizon
 }
 
 // remove unlinks ev from wherever it is queued (wheel bucket or far heap).
@@ -418,6 +616,56 @@ func (e *Engine) nextEvent() *scheduledEvent {
 	return w
 }
 
+// popMin removes and returns the earliest pending event (cascading as
+// needed), or nil when nothing is pending. It is nextEvent+remove fused
+// for Run's hot loop: the minimum is almost always the head of the lowest
+// occupied level-0 slot, which unlinks with two stores and at most two
+// bitmap clears — none of remove's generic prev/level dispatch. It does
+// not touch pending; the caller owns that bookkeeping, as with remove.
+func (e *Engine) popMin() *scheduledEvent {
+	var w *scheduledEvent
+	var ws int32
+	if e.wheel > 0 {
+		for {
+			if e.l0sum != 0 {
+				wd := bits.TrailingZeros64(e.l0sum)
+				ws = int32(wd<<6 + bits.TrailingZeros64(e.l0words[wd]))
+				w = e.l0[ws].head
+				break
+			}
+			if !e.cascade() {
+				break
+			}
+		}
+	}
+	if len(e.far) > 0 {
+		f := e.far[0]
+		if w == nil || eventLess(f, w) {
+			e.farRemove(0)
+			f.lvl = locNone
+			return f
+		}
+	}
+	if w == nil {
+		return nil
+	}
+	b := &e.l0[ws]
+	b.head = w.next
+	if w.next != nil {
+		w.next.prev = nil
+	} else {
+		b.tail = nil
+		e.l0words[ws>>6] &^= 1 << (uint32(ws) & 63)
+		if e.l0words[ws>>6] == 0 {
+			e.l0sum &^= 1 << (uint32(ws) >> 6)
+		}
+	}
+	w.next = nil
+	w.lvl = locNone
+	e.wheel--
+	return w
+}
+
 // After schedules fn to run d ticks from now.
 func (e *Engine) After(d Time, fn Event) EventHandle {
 	if d < 0 {
@@ -444,20 +692,62 @@ func (e *Engine) Stop() { e.stopped = true }
 // or until, whichever is smaller.
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
+	e.runUntil = until
+	defer func() { e.runUntil = 0 }()
 	for e.pending > 0 && !e.stopped {
 		// With no live (non-daemon) work left, an unbounded run is done:
 		// only periodic housekeeping remains and it would tick forever.
 		if until == MaxTime && e.live == 0 {
 			break
 		}
-		next := e.nextEvent()
-		if next.at > until {
-			e.now = until
-			return e.now
+		var next *scheduledEvent
+		if len(e.streams) > 0 {
+			// Splice streams are live (a parallel window): peek, compare
+			// against the stream minimum, and only then remove.
+			next = e.nextEvent()
+			if si := e.streamMinIdx(); si >= 0 {
+				st := &e.streams[si]
+				at := st.times[st.head]
+				if next == nil || at < next.at || (at == next.at && st.seq0+uint64(st.head) < next.seq) {
+					if at > until {
+						e.now = until
+						return e.now
+					}
+					fn := st.fn
+					e.curSeq = st.seq0 + uint64(st.head)
+					st.head++
+					if st.head == len(st.times) {
+						e.dropStream(si)
+					}
+					e.pending--
+					e.live--
+					e.now = at
+					e.executed++
+					fn(e.now)
+					continue
+				}
+			}
+			if next.at > until {
+				e.now = until
+				return e.now
+			}
+			e.remove(next)
+		} else {
+			// No streams: pop the minimum directly. If it lies beyond the
+			// bounded run it goes back into the wheel (restoring its
+			// bucket-head position — it was the minimum, so it re-enters
+			// its slot with the smallest seq) for a later Run to find.
+			next = e.popMin()
+			if next.at > until {
+				e.now = until
+				e.place(next)
+				e.restoreBucketOrder(next)
+				return e.now
+			}
 		}
-		e.remove(next)
 		e.pending--
 		e.now = next.at
+		e.curSeq = next.seq
 		fn := next.fn
 		if !next.daemon {
 			e.live--

@@ -19,6 +19,15 @@ type Receiver struct {
 	// the common few-hole case stays in the spanSet's inline array.
 	ooo spanSet
 
+	// ACK flow-hash cache. The reverse-direction 5-tuple is fixed per
+	// sender, so the fabric LB hash is computed once and stamped on every
+	// ACK. The identity key matters: a receiver port can serve many
+	// senders (incast half-flows), and each has its own reverse tuple.
+	ackFlowID uint64
+	ackSrc    int // data packet's SrcHost the cache was computed for
+	ackPort   int // data packet's SrcPort likewise
+	ackHash   uint64
+
 	// OnDelivered fires whenever the in-order prefix advances, with the
 	// new prefix length. Applications use it to delimit responses.
 	OnDelivered func(total int64, now sim.Time)
@@ -57,6 +66,7 @@ func (r *Receiver) rebind(host *fabric.Host, port int) {
 	r.port = port
 	r.rcvNxt = 0
 	r.ooo = spanSet{} // zero-assignment is the spanSet's full reset
+	r.ackFlowID, r.ackSrc, r.ackPort, r.ackHash = 0, 0, 0, 0
 	r.SegmentsIn, r.BytesIn = 0, 0
 	r.OutOfOrder, r.DupSegments, r.AcksOut = 0, 0, 0
 	r.freed = false
@@ -128,6 +138,11 @@ func (r *Receiver) sendAck(data *fabric.Packet, recent int, now sim.Time) {
 	ack.AckNo = r.rcvNxt
 	ack.EchoTS = data.SentAt
 	ack.SentAt = now
+	if r.ackFlowID != data.FlowID || r.ackSrc != data.SrcHost || r.ackPort != data.SrcPort {
+		r.ackFlowID, r.ackSrc, r.ackPort = data.FlowID, data.SrcHost, data.SrcPort
+		r.ackHash = fabric.HashFlow(data.FlowID, r.host.ID, data.SrcHost, r.port, data.SrcPort)
+	}
+	ack.SetLBHash(r.ackHash)
 	// SACK blocks (3-block limit, as with a timestamp option on the
 	// wire). Per RFC 2018 the first block reports the range containing
 	// the segment that triggered this ACK; the rest rotate through the

@@ -121,6 +121,7 @@ type Sender struct {
 	srcPort int
 	dstHost int
 	dstPort int
+	lbHash  uint64 // precomputed fabric LB hash for outgoing segments
 
 	// Sequence space (bytes).
 	sndUna int64 // oldest unacknowledged
@@ -139,10 +140,16 @@ type Sender struct {
 	retxMark int64
 	retxPipe int64 // retransmitted bytes not yet cumulatively acked
 
-	// RTO state (RFC 6298).
+	// RTO state (RFC 6298). The retransmission timer is lazily re-armed:
+	// ACKs only advance the deadline field, and a fire before the deadline
+	// reschedules itself instead of timing out. With per-segment ACKs this
+	// turns a cancel+schedule pair per ACK into one field write — the
+	// engine event exists only at the (rarely reached) fire times.
 	srtt, rttvar sim.Time
 	rto          sim.Time
 	backoff      uint
+	deadline     sim.Time // when the timeout should really fire
+	timerAt      sim.Time // when the pending timer event fires (≤ deadline)
 	timer        sim.EventHandle
 	reorderTimer sim.EventHandle // deferred loss declaration (ReorderWindow)
 	reorderArmed int64           // sndUna when the reorder timer was armed
@@ -214,6 +221,7 @@ func (s *Sender) rebind(eng *sim.Engine, host *fabric.Host, flowID uint64, dstHo
 	s.srcPort = host.AllocPort()
 	s.dstHost = dstHost
 	s.dstPort = dstPort
+	s.lbHash = fabric.HashFlow(flowID, host.ID, dstHost, s.srcPort, dstPort)
 	s.sndUna, s.sndNxt, s.avail = 0, 0, 0
 	s.cwnd = float64(cfg.InitCwnd * cfg.MSS)
 	s.ssthresh = float64(cfg.MaxCwnd)
@@ -227,6 +235,7 @@ func (s *Sender) rebind(eng *sim.Engine, host *fabric.Host, flowID uint64, dstHo
 	s.srtt, s.rttvar = 0, 0
 	s.rto = cfg.InitRTO
 	s.backoff = 0
+	s.deadline, s.timerAt = 0, 0
 	s.timer = sim.EventHandle{}
 	s.reorderTimer = sim.EventHandle{}
 	s.reorderArmed = 0
@@ -344,23 +353,43 @@ func (s *Sender) emit(seq int64, payload int, now sim.Time) {
 	p.Seq = seq
 	p.Payload = payload
 	p.SentAt = now
+	p.SetLBHash(s.lbHash)
 	s.stats.SegmentsSent++
 	s.stats.BytesSent += uint64(payload)
 	s.host.Send(p, now)
 }
 
 func (s *Sender) armTimer(now sim.Time) {
-	s.timer.Cancel()
 	d := s.rto << s.backoff
 	if d > s.cfg.MaxRTO {
 		d = s.cfg.MaxRTO
 	}
-	s.timer = s.eng.At(now+d, s.onTimeoutFn)
+	s.deadline = now + d
+	if !s.timer.Pending() {
+		s.timerAt = s.deadline
+		s.timer = s.eng.At(s.deadline, s.onTimeoutFn)
+	} else if s.deadline < s.timerAt {
+		// The RTO shrank below the armed fire time (a large RTT-variance
+		// drop); a lazy fire would then be late, so re-arm eagerly. With
+		// the MinRTO floor this is rare enough not to matter.
+		s.timer.Cancel()
+		s.timerAt = s.deadline
+		s.timer = s.eng.At(s.deadline, s.onTimeoutFn)
+	}
+	// Otherwise the pending fire at timerAt ≤ deadline re-checks the
+	// deadline and reschedules itself (onTimeout's lazy re-arm).
 }
 
 func (s *Sender) onTimeout(now sim.Time) {
 	if s.sndUna >= s.avail {
 		return // everything acked while the timer raced
+	}
+	if now < s.deadline {
+		// Stale fire: ACKs advanced the deadline without touching the
+		// event. Chase it.
+		s.timerAt = s.deadline
+		s.timer = s.eng.At(s.deadline, s.onTimeoutFn)
+		return
 	}
 	s.stats.Timeouts++
 	if s.tel != nil {
@@ -685,7 +714,10 @@ func (s *Sender) onDupAck(now sim.Time) {
 				s.tel.ReorderDefers++
 			}
 			s.reorderArmed = s.sndUna
-			s.reorderTimer = s.eng.After(s.cfg.ReorderWindow, s.onReorderFn)
+			// At(now+...), not After: transport handlers schedule relative
+			// to their logical now, never the engine clock (the two could
+			// drift if a handler ever ran under a fused hop chain).
+			s.reorderTimer = s.eng.At(now+s.cfg.ReorderWindow, s.onReorderFn)
 		}
 		return
 	}

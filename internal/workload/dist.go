@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"conga/internal/sim"
 )
@@ -38,11 +39,16 @@ func (f Fixed) Mean() float64 { return float64(f) }
 // log-linearly in size (flow sizes span six orders of magnitude, so linear
 // interpolation in log-space matches how the paper plots and reports them).
 type Empirical struct {
-	name   string
-	sizes  []float64 // ascending
-	cdf    []float64 // ascending, cdf[len-1] == 1
-	mean   float64
-	meanOK bool
+	name  string
+	sizes []float64 // ascending
+	cdf   []float64 // ascending, cdf[len-1] == 1
+	// logSizes precomputes math.Log of each size: Quantile interpolates
+	// log-linearly and is the inner loop of every numeric integration over
+	// the distribution (Mean, BytesFraction, CV), so hoisting the two
+	// endpoint logs out of it cuts its transcendental work to one Exp.
+	logSizes []float64
+	mean     float64
+	meanOK   bool
 }
 
 // NewEmpirical builds a distribution from (size, cdf) points. Points must
@@ -70,6 +76,7 @@ func NewEmpirical(name string, points [][2]float64) (*Empirical, error) {
 		}
 		e.sizes = append(e.sizes, size)
 		e.cdf = append(e.cdf, c)
+		e.logSizes = append(e.logSizes, math.Log(size))
 	}
 	if e.cdf[len(e.cdf)-1] != 1 {
 		return nil, fmt.Errorf("workload: %s: final CDF %v ≠ 1", name, e.cdf[len(e.cdf)-1])
@@ -105,7 +112,7 @@ func (e *Empirical) Quantile(u float64) float64 {
 	}
 	frac := (u - e.cdf[lo]) / span
 	// Log-linear interpolation in size.
-	return math.Exp(math.Log(e.sizes[lo]) + frac*(math.Log(e.sizes[hi])-math.Log(e.sizes[lo])))
+	return math.Exp(e.logSizes[lo] + frac*(e.logSizes[hi]-e.logSizes[lo]))
 }
 
 // Sample implements SizeDist via inverse-transform sampling.
@@ -176,7 +183,7 @@ func (e *Empirical) CV() float64 {
 // come from flows smaller than 35 MB, which is why ECMP does comparatively
 // well on it (§5.2.1).
 func Enterprise() *Empirical {
-	return MustEmpirical("enterprise", [][2]float64{
+	return builtin(&enterpriseOnce, "enterprise", [][2]float64{
 		{100, 0},
 		{200, 0.10},
 		{400, 0.25},
@@ -197,7 +204,7 @@ func Enterprise() *Empirical {
 // widely used VL2 tabulation. Its tail is very heavy: ~3.6% of flows are
 // larger than 35 MB yet carry ~95% of the bytes.
 func DataMining() *Empirical {
-	return MustEmpirical("data-mining", [][2]float64{
+	return builtin(&dataMiningOnce, "data-mining", [][2]float64{
 		{100, 0},
 		{180, 0.10},
 		{250, 0.20},
@@ -217,7 +224,7 @@ func DataMining() *Empirical {
 // WebSearch returns the web-search workload (from the DCTCP measurement
 // study) used by the paper's large-scale simulations (Figures 15 and 16).
 func WebSearch() *Empirical {
-	return MustEmpirical("web-search", [][2]float64{
+	return builtin(&webSearchOnce, "web-search", [][2]float64{
 		{6e3, 0.15},
 		{1.3e4, 0.30},
 		{1.9e4, 0.45},
@@ -229,4 +236,24 @@ func WebSearch() *Empirical {
 		{3.3e6, 0.98},
 		{6.65e6, 1.0},
 	})
+}
+
+// The built-in distributions are immutable process-wide singletons. Each
+// sweep run used to rebuild its distribution and re-integrate the 200k-step
+// mean; constructing once (with the mean precomputed inside the Once, so
+// the shared value is read-only afterwards and safe under concurrent
+// engines) makes that a one-time cost.
+var enterpriseOnce, dataMiningOnce, webSearchOnce builtinDist
+
+type builtinDist struct {
+	once sync.Once
+	dist *Empirical
+}
+
+func builtin(b *builtinDist, name string, points [][2]float64) *Empirical {
+	b.once.Do(func() {
+		b.dist = MustEmpirical(name, points)
+		b.dist.Mean()
+	})
+	return b.dist
 }

@@ -123,6 +123,7 @@ func TestLiveTapConcurrentEngines(t *testing.T) {
 	for i := 0; i < half; i++ {
 		a, b := *results[i], *results[i+half]
 		a.Telemetry, b.Telemetry = nil, nil
+		a.Wall, b.Wall = 0, 0 // wall clock is environment, not behavior
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("live observation perturbed run %d:\na: %+v\nb: %+v", i, a, b)
 		}
@@ -135,8 +136,13 @@ func TestLiveTapConcurrentEngines(t *testing.T) {
 // mid-run, AND a triggered flight-recorder trace must produce results
 // bit-identical to the same seeded run with telemetry off entirely.
 func TestLiveObservabilityDoesNotPerturb(t *testing.T) {
+	// The tap and trace force the fused fast path off, so pin the baseline
+	// to the same slow path — otherwise only the executed-event count would
+	// differ (see TestFusionEquivalence for the fused-vs-unfused contract).
+	topo := liveTopo
+	topo.DisableFusion = true
 	cfg := FCTConfig{
-		Topology: liveTopo, Scheme: SchemeCONGA, Workload: WorkloadEnterprise,
+		Topology: topo, Scheme: SchemeCONGA, Workload: WorkloadEnterprise,
 		Load: 0.6, Duration: 10 * time.Millisecond, MaxFlows: 120, Seed: 7,
 	}
 	off, err := RunFCT(cfg)
@@ -218,6 +224,7 @@ func TestLiveObservabilityDoesNotPerturb(t *testing.T) {
 			t.Fatalf("%v: no registry", mode)
 		}
 		on.Telemetry = nil
+		off.Wall, on.Wall = 0, 0 // wall clock is environment, not behavior
 		if !reflect.DeepEqual(off, on) {
 			t.Fatalf("%v: live observability changed the simulation\noff: %+v\non:  %+v", mode, off, on)
 		}

@@ -49,9 +49,11 @@ func TestParallelRunsMatchSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range cfgs {
-		if !reflect.DeepEqual(seq[i], par[i]) {
+		a, b := *seq[i], *par[i]
+		a.Wall, b.Wall = 0, 0 // wall clock is environment, not behavior
+		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("config %d (%s seed %d): parallel result differs from sequential\nseq: %+v\npar: %+v",
-				i, seq[i].Scheme, cfgs[i].Seed, seq[i], par[i])
+				i, seq[i].Scheme, cfgs[i].Seed, a, b)
 		}
 	}
 }
@@ -114,7 +116,9 @@ func TestParallelRerunIsStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range cfgs {
-		if !reflect.DeepEqual(a[i], b[i]) {
+		x, y := *a[i], *b[i]
+		x.Wall, y.Wall = 0, 0 // wall clock is environment, not behavior
+		if !reflect.DeepEqual(x, y) {
 			t.Fatalf("config %d: two parallel runs disagree", i)
 		}
 	}

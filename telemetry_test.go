@@ -18,8 +18,14 @@ import (
 func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
 	for _, scheme := range []Scheme{SchemeECMP, SchemeCONGA, SchemeMPTCPMarker} {
 		cfg := FCTConfig{
+			// TelemetryAll includes the packet trace, which forces the fused
+			// fast path off (its mid-serialization snapshots would observe
+			// the early-applied tx counters); pin the baseline to the same
+			// slow path so the executed-event count compares bit-for-bit
+			// too. Fused-vs-unfused equivalence has its own test
+			// (TestFusionEquivalence).
 			Topology: Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 4, LinksPerSpine: 1,
-				AccessGbps: 10, FabricGbps: 10},
+				AccessGbps: 10, FabricGbps: 10, DisableFusion: true},
 			Scheme:   scheme,
 			Workload: WorkloadEnterprise,
 			Load:     0.6,
@@ -46,6 +52,7 @@ func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
 		}
 		reg := on.Telemetry
 		on.Telemetry = nil
+		off.Wall, on.Wall = 0, 0 // wall clock is environment, not behavior
 		if !reflect.DeepEqual(off, on) {
 			t.Fatalf("%s: telemetry changed the simulation\noff: %+v\non:  %+v", off.Scheme, off, on)
 		}
@@ -102,6 +109,7 @@ func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
 		}
 		preg := pon.Telemetry
 		pon.Telemetry = nil
+		poff.Wall, pon.Wall = 0, 0
 		if !reflect.DeepEqual(poff, pon) {
 			t.Fatalf("%s parallel: telemetry changed the simulation\noff: %+v\non:  %+v", poff.Scheme, poff, pon)
 		}
@@ -155,8 +163,11 @@ func TestDecisionTraceRejectedUnderParallel(t *testing.T) {
 // the Incast micro-benchmark.
 func TestTelemetryDoesNotPerturbIncast(t *testing.T) {
 	cfg := IncastConfig{
+		// Fusion off on both sides: the traced run would fall back to the
+		// slow path anyway and the event counts would differ by design
+		// (TestFusionEquivalenceIncast covers fused-vs-unfused identity).
 		Topology: Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 8, LinksPerSpine: 1,
-			AccessGbps: 10, FabricGbps: 10},
+			AccessGbps: 10, FabricGbps: 10, DisableFusion: true},
 		Scheme: SchemeCONGA,
 		Fanout: 8,
 		Rounds: 2,
@@ -176,6 +187,7 @@ func TestTelemetryDoesNotPerturbIncast(t *testing.T) {
 		t.Fatal("telemetry requested but result carries none")
 	}
 	on.Telemetry = nil
+	off.Wall, on.Wall = 0, 0 // wall clock is environment, not behavior
 	if !reflect.DeepEqual(off, on) {
 		t.Fatalf("telemetry changed incast results\noff: %+v\non:  %+v", off, on)
 	}

@@ -20,7 +20,18 @@
 // Usage:
 //
 //	make bench-quick | tee bench-quick.txt
-//	go run ./tools/benchguard -baseline BENCH_PR6.json bench-quick.txt
+//	go run ./tools/benchguard -baseline BENCH_PR9.json bench-quick.txt
+//
+// With -update OUT.json the tool regenerates a baseline instead of gating:
+// every benchmark in the output is recorded (all reported metrics, not
+// just the gated three), benchmarks absent from the output are carried
+// forward from -baseline unchanged, and an environment block (goos,
+// goarch, cpu from the output header, plus the recording command) is
+// embedded so a future reader knows what machine the numbers mean on.
+// Because events/op is the determinism contract, -update REFUSES to write
+// a baseline whose events/op differs from -baseline unless
+// -expect-events-change is passed; when it is, the change is annotated in
+// the entry's note rather than slipping in silently.
 //
 // The baseline schema is the one BENCH_PR2.json uses:
 // {"benchmarks": {"<name>": {"after": {"ns_op": N, "events_op": N, "allocs_op": N}}}}.
@@ -35,6 +46,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,20 +60,37 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+(.*)$`)
 // metricPair matches one "<value> <unit>" measurement within the line tail.
 var metricPair = regexp.MustCompile(`([\d.eE+-]+)\s+([^\s]+)`)
 
-type baselineMetrics struct {
-	NsOp     float64 `json:"ns_op"`
-	EventsOp float64 `json:"events_op"`
-	AllocsOp float64 `json:"allocs_op"`
+// headerLine matches the `go test` environment preamble ("goos: linux",
+// "cpu: Intel(R) ..."); -update copies these into the baseline's
+// environment block.
+var headerLine = regexp.MustCompile(`^(goos|goarch|cpu|pkg):\s+(.*)$`)
+
+// baselineEntry is one benchmark's record. After maps the JSON metric key
+// (ns_op, events_op, B_op, allocs_op, normFCT, ...) to its value; the
+// gate only interprets the three keys it has policies for, but -update
+// round-trips every metric the benchmark reported.
+type baselineEntry struct {
+	After map[string]float64 `json:"after"`
+	Note  string             `json:"note,omitempty"`
 }
 
 type baselineFile struct {
-	Benchmarks map[string]struct {
-		After baselineMetrics `json:"after"`
-	} `json:"benchmarks"`
+	Description string                    `json:"description,omitempty"`
+	Environment map[string]string         `json:"environment,omitempty"`
+	Benchmarks  map[string]*baselineEntry `json:"benchmarks"`
 }
 
-// measured holds the metrics parsed from one benchmark output line.
+// measured holds the metrics parsed from one benchmark output line,
+// keyed by the output unit ("ns/op", "events/op", ...).
 type measured map[string]float64
+
+// metricKey converts a benchmark output unit to its baseline JSON key:
+// "ns/op" -> "ns_op", "goodput%" -> "goodput_pct", "normFCT" -> "normFCT".
+func metricKey(unit string) string {
+	k := strings.ReplaceAll(unit, "/", "_")
+	k = strings.ReplaceAll(k, "%", "_pct")
+	return k
+}
 
 func main() {
 	var (
@@ -76,6 +105,14 @@ func main() {
 			"comma-separated FAST:SLOW:RATIO triples: FAST's ns/op must beat SLOW's by at least RATIO× (e.g. BenchmarkScale256Leaves40GParallel8:BenchmarkScale256Leaves40G:2.5)")
 		speedupMinProcs = flag.Int("speedup-min-procs", 8,
 			"skip the -speedup gates (with a loud warning) when the run had fewer GOMAXPROCS than this — a starved machine cannot show parallel speedup")
+		updatePath = flag.String("update", "",
+			"write a regenerated baseline to this path instead of gating; benchmarks missing from the output are carried forward from -baseline")
+		expectEventsChange = flag.Bool("expect-events-change", false,
+			"allow -update to record an events/op that differs from -baseline (the change is annotated in the entry's note); without this flag a changed events/op aborts the update")
+		desc = flag.String("desc", "",
+			"description for the regenerated baseline (-update); empty keeps the old baseline's description")
+		command = flag.String("command", "",
+			"recording command noted in the regenerated baseline's environment block (-update)")
 	)
 	flag.Parse()
 
@@ -100,9 +137,15 @@ func main() {
 
 	results := map[string]measured{}
 	procs := map[string]int{}
+	env := map[string]string{}
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		line := strings.TrimSpace(sc.Text())
+		if h := headerLine.FindStringSubmatch(line); h != nil && h[1] != "pkg" {
+			env[h[1]] = h[2]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -133,6 +176,11 @@ func main() {
 		}
 	}
 
+	if *updatePath != "" {
+		update(*updatePath, *baselinePath, &base, results, env, *desc, *command, *expectEventsChange)
+		return
+	}
+
 	gateNs := map[string]bool{}
 	for _, name := range strings.Split(*nsBenches, ",") {
 		gateNs[strings.TrimSpace(name)] = true
@@ -141,16 +189,16 @@ func main() {
 	failures := 0
 	checked := 0
 	for name, got := range results {
-		entry, ok := base.Benchmarks[name]
-		if !ok {
+		entry := base.Benchmarks[name]
+		if entry == nil {
 			continue
 		}
 		checked++
 		if gateNs[name] {
-			failures += gate(name, "ns/op", got["ns/op"], entry.After.NsOp, *maxRegress)
+			failures += gate(name, "ns/op", got["ns/op"], entry.After["ns_op"], *maxRegress)
 		}
-		failures += gate(name, "events/op", got["events/op"], entry.After.EventsOp, 0)
-		failures += gate(name, "allocs/op", got["allocs/op"], entry.After.AllocsOp, *maxAllocRegress)
+		failures += gate(name, "events/op", got["events/op"], entry.After["events_op"], 0)
+		failures += gate(name, "allocs/op", got["allocs/op"], entry.After["allocs_op"], *maxAllocRegress)
 	}
 	if checked == 0 {
 		fatal("no benchmark in the output has a baseline entry in %s", *baselinePath)
@@ -166,6 +214,93 @@ func main() {
 
 	if failures > 0 {
 		fatal("%d metric(s) regressed", failures)
+	}
+}
+
+// update regenerates a baseline from the measured results, carrying
+// forward old entries whose benchmarks did not run. The events/op guard
+// is the point: a baseline update is the one place a behavior change can
+// be laundered past the exact-match gate, so a changed events/op aborts
+// unless the caller passed -expect-events-change, and an allowed change
+// is written into the entry's note where a reviewer will see it.
+func update(path, baselinePath string, base *baselineFile, results map[string]measured, env map[string]string, desc, command string, expectEventsChange bool) {
+	out := baselineFile{
+		Description: desc,
+		Environment: map[string]string{},
+		Benchmarks:  map[string]*baselineEntry{},
+	}
+	if out.Description == "" {
+		out.Description = base.Description
+	}
+	for k, v := range env {
+		out.Environment[k] = v
+	}
+	if command != "" {
+		out.Environment["command"] = command
+	} else if c, ok := base.Environment["command"]; ok {
+		out.Environment["command"] = c
+	}
+
+	var eventsChanged []string
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		entry := &baselineEntry{After: map[string]float64{}}
+		for unit, v := range results[name] {
+			entry.After[metricKey(unit)] = v
+		}
+		if old := base.Benchmarks[name]; old != nil {
+			oldEv, newEv := old.After["events_op"], entry.After["events_op"]
+			if oldEv > 0 && newEv > 0 && oldEv != newEv {
+				eventsChanged = append(eventsChanged,
+					fmt.Sprintf("%s: %.0f -> %.0f (%+.1f%%)", name, oldEv, newEv, (newEv-oldEv)/oldEv*100))
+				entry.Note = fmt.Sprintf(
+					"events/op changed from %.0f (%+.1f%%) — acknowledged via -expect-events-change",
+					oldEv, (newEv-oldEv)/oldEv*100)
+			}
+		}
+		out.Benchmarks[name] = entry
+	}
+	// Carry forward baselines the run didn't re-measure, marked so their
+	// numbers aren't mistaken for this recording's environment.
+	for name, old := range base.Benchmarks {
+		if _, ok := out.Benchmarks[name]; ok {
+			continue
+		}
+		carried := &baselineEntry{After: old.After, Note: old.Note}
+		if !strings.Contains(carried.Note, "carried forward") {
+			carried.Note = strings.TrimSpace("carried forward (not re-measured in this update). " + carried.Note)
+		}
+		out.Benchmarks[name] = carried
+	}
+
+	if len(eventsChanged) > 0 && !expectEventsChange {
+		fatal("refusing to update: events/op changed vs %s for:\n  %s\nevents/op is the determinism contract — pass -expect-events-change only if the simulation was INTENDED to execute a different event count with identical results",
+			baselinePath, strings.Join(eventsChanged, "\n  "))
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("write baseline: %v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&out); err != nil {
+		fatal("encode baseline: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("close baseline: %v", err)
+	}
+	fmt.Printf("benchguard: wrote %s (%d measured, %d carried forward", path, len(names), len(out.Benchmarks)-len(names))
+	if len(eventsChanged) > 0 {
+		fmt.Printf(", %d events/op change(s) annotated", len(eventsChanged))
+	}
+	fmt.Println(")")
+	for _, c := range eventsChanged {
+		fmt.Printf("benchguard: events/op change: %s\n", c)
 	}
 }
 
